@@ -1,0 +1,246 @@
+// Package dwr's repository-root benchmarks regenerate every table and
+// figure of the paper (one benchmark per artifact, delegating to
+// internal/experiments) and time the ablations DESIGN.md calls out.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+package dwr
+
+import (
+	"fmt"
+	"testing"
+
+	"dwr/internal/cache"
+	"dwr/internal/experiments"
+	"dwr/internal/index"
+	"dwr/internal/randx"
+	"dwr/internal/rank"
+)
+
+// runExperiment is the shared driver: regenerate the artifact b.N times
+// and record its headline values as benchmark metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Run(id)
+	}
+	if r == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for k, v := range r.Values {
+		b.ReportMetric(v, k)
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1Inventory(b *testing.B)     { runExperiment(b, "T1") }
+func BenchmarkFigure1Partitioning(b *testing.B) { runExperiment(b, "F1") }
+func BenchmarkFigure2BusyLoad(b *testing.B)     { runExperiment(b, "F2") }
+func BenchmarkFigure5Availability(b *testing.B) { runExperiment(b, "F5") }
+func BenchmarkFigure6Capacity(b *testing.B)     { runExperiment(b, "F6") }
+
+func BenchmarkClaim1CapacityPlan(b *testing.B)        { runExperiment(b, "C1") }
+func BenchmarkClaim2ConsistentHashing(b *testing.B)   { runExperiment(b, "C2") }
+func BenchmarkClaim3URLExchange(b *testing.B)         { runExperiment(b, "C3") }
+func BenchmarkClaim4DNSCache(b *testing.B)            { runExperiment(b, "C4") }
+func BenchmarkClaim5Coverage(b *testing.B)            { runExperiment(b, "C5") }
+func BenchmarkClaim6TermVsDoc(b *testing.B)           { runExperiment(b, "C6") }
+func BenchmarkClaim7BinPacking(b *testing.B)          { runExperiment(b, "C7") }
+func BenchmarkClaim8CollectionSelection(b *testing.B) { runExperiment(b, "C8") }
+func BenchmarkClaim9GlobalStats(b *testing.B)         { runExperiment(b, "C9") }
+func BenchmarkClaim10Caching(b *testing.B)            { runExperiment(b, "C10") }
+func BenchmarkClaim11Replication(b *testing.B)        { runExperiment(b, "C11") }
+func BenchmarkClaim12MultiSiteRouting(b *testing.B)   { runExperiment(b, "C12") }
+func BenchmarkClaim13Incremental(b *testing.B)        { runExperiment(b, "C13") }
+func BenchmarkClaim14IndexBuild(b *testing.B)         { runExperiment(b, "C14") }
+func BenchmarkClaim15OnlineMaintenance(b *testing.B)  { runExperiment(b, "C15") }
+func BenchmarkClaim16Drift(b *testing.B)              { runExperiment(b, "C16") }
+func BenchmarkClaim17LanguageRouting(b *testing.B)    { runExperiment(b, "C17") }
+func BenchmarkClaim18GeoCrawling(b *testing.B)        { runExperiment(b, "C18") }
+func BenchmarkClaim19P2P(b *testing.B)                { runExperiment(b, "C19") }
+func BenchmarkClaim20PhraseShipping(b *testing.B)     { runExperiment(b, "C20") }
+func BenchmarkClaim21Personalization(b *testing.B)    { runExperiment(b, "C21") }
+func BenchmarkClaim22FederatedVsOpen(b *testing.B)    { runExperiment(b, "C22") }
+func BenchmarkClaim23Frontier(b *testing.B)           { runExperiment(b, "C23") }
+
+// ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// benchCorpus builds a fixed corpus for the micro-ablations.
+func benchCorpus() []index.Doc {
+	rng := randx.New(99)
+	z := randx.NewZipf(3000, 1.0)
+	docs := make([]index.Doc, 1500)
+	for i := range docs {
+		n := 40 + rng.Intn(160)
+		terms := make([]string, n)
+		for j := range terms {
+			terms[j] = fmt.Sprintf("w%04d", z.Draw(rng))
+		}
+		docs[i] = index.Doc{Ext: i, Terms: terms}
+	}
+	return docs
+}
+
+func buildWith(docs []index.Doc, opts index.Options) *index.Index {
+	b := index.NewBuilder(opts)
+	for _, d := range docs {
+		b.AddDocument(d.Ext, d.Terms)
+	}
+	return b.Build()
+}
+
+// BenchmarkAblationCompression compares index build + size with and
+// without varint/delta compression.
+func BenchmarkAblationCompression(b *testing.B) {
+	docs := benchCorpus()
+	for _, c := range []struct {
+		name     string
+		compress bool
+	}{{"compressed", true}, {"fixed32", false}} {
+		b.Run(c.name, func(b *testing.B) {
+			opts := index.DefaultOptions()
+			opts.Compress = c.compress
+			var ix *index.Index
+			for i := 0; i < b.N; i++ {
+				ix = buildWith(docs, opts)
+			}
+			b.ReportMetric(float64(ix.SizeBytes()), "index_bytes")
+		})
+	}
+}
+
+// BenchmarkAblationSkipLists compares conjunctive evaluation with and
+// without skip pointers.
+func BenchmarkAblationSkipLists(b *testing.B) {
+	docs := benchCorpus()
+	for _, c := range []struct {
+		name     string
+		interval int
+	}{{"skip64", 64}, {"noskip", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			opts := index.DefaultOptions()
+			opts.SkipInterval = c.interval
+			ix := buildWith(docs, opts)
+			s := rank.NewScorer(rank.FromIndex(ix))
+			// A rare term ANDed with a frequent one: the skip-friendly case.
+			q := []string{"w2900", "w0001"}
+			b.ResetTimer()
+			var decoded int
+			for i := 0; i < b.N; i++ {
+				_, es := rank.EvaluateAND(ix, s, q, 10)
+				decoded = es.PostingsDecoded
+			}
+			b.ReportMetric(float64(decoded), "postings_decoded")
+		})
+	}
+}
+
+// BenchmarkAblationQueryEval compares disjunctive vs conjunctive
+// evaluation cost on the same queries.
+func BenchmarkAblationQueryEval(b *testing.B) {
+	docs := benchCorpus()
+	ix := buildWith(docs, index.DefaultOptions())
+	s := rank.NewScorer(rank.FromIndex(ix))
+	queries := [][]string{
+		{"w0001", "w0050"}, {"w0010", "w0200", "w1500"}, {"w0002"},
+	}
+	b.Run("or", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				rank.EvaluateOR(ix, s, q, 10)
+			}
+		}
+	})
+	b.Run("and", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				rank.EvaluateAND(ix, s, q, 10)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCachePolicy compares the three cache policies on one
+// Zipf stream.
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	z := randx.NewZipf(5000, 1.0)
+	staticKeys := make([]string, 100)
+	for i := range staticKeys {
+		staticKeys[i] = fmt.Sprintf("q%d", i)
+	}
+	mk := map[string]func() cache.Cache[int]{
+		"lru": func() cache.Cache[int] { return cache.NewLRU[int](200) },
+		"lfu": func() cache.Cache[int] { return cache.NewLFU[int](200) },
+		"sdc": func() cache.Cache[int] { return cache.NewSDC[int](staticKeys, 100) },
+	}
+	for _, name := range []string{"lru", "lfu", "sdc"} {
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				rng := randx.New(7)
+				c := mk[name]()
+				for j := 0; j < 50000; j++ {
+					key := fmt.Sprintf("q%d", z.Draw(rng))
+					if _, ok := c.Get(key); !ok {
+						c.Put(key, 1, float64(j))
+					}
+				}
+				ratio = cache.HitRatio(c)
+			}
+			b.ReportMetric(ratio, "hit_ratio")
+		})
+	}
+}
+
+// BenchmarkIndexBuilders times the four construction strategies on the
+// same corpus.
+func BenchmarkIndexBuilders(b *testing.B) {
+	docs := benchCorpus()
+	opts := index.DefaultOptions()
+	b.Run("inverter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildWith(docs, opts)
+		}
+	})
+	b.Run("sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb := index.NewSortBuilder(opts)
+			for _, d := range docs {
+				sb.AddDocument(d.Ext, d.Terms)
+			}
+			sb.Build()
+		}
+	})
+	b.Run("spimi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp, err := index.NewSPIMIBuilder(opts, 1<<20, b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range docs {
+				if err := sp.AddDocument(d.Ext, d.Terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sp.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mapreduce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := index.BuildMapReduce(opts, docs, 8, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := index.BuildPipeline(opts, docs, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+// Command dwrbench regenerates the paper's tables and figures (and the
+// quantitative claims embedded in its prose) as terminal reports.
+//
+// Usage:
+//
+//	dwrbench            # run every experiment, in paper order
+//	dwrbench -list      # list experiment IDs and titles
+//	dwrbench -exp F2    # run one experiment (T1, F1, F2, F5, F6, C1..C14)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dwr/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			r := e.Run // do not run; IDs and titles only via a cheap call table
+			_ = r
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	if *exp != "all" {
+		r := experiments.Run(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(r.String())
+		return
+	}
+
+	start := time.Now()
+	for _, e := range experiments.Registry() {
+		t0 := time.Now()
+		r := e.Run()
+		fmt.Print(r.String())
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

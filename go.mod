@@ -1,0 +1,3 @@
+module dwr
+
+go 1.22

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dwr/internal/randx"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1, 0)
+	c.Put("b", 2, 1)
+	if e, ok := c.Get("a"); !ok || e.Value != 1 || e.StoredAt != 0 {
+		t.Fatalf("Get(a) = %+v, %v", e, ok)
+	}
+	c.Put("c", 3, 2) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	h, m := c.Stats()
+	if h != 3 || m != 1 {
+		t.Fatalf("stats = %d/%d, want 3 hits 1 miss", h, m)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1, 0)
+	c.Put("a", 9, 5)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after double put", c.Len())
+	}
+	if e, _ := c.Get("a"); e.Value != 9 || e.StoredAt != 5 {
+		t.Fatalf("updated entry = %+v", e)
+	}
+}
+
+func TestLRUCapacityOne(t *testing.T) {
+	c := NewLRU[string](1)
+	c.Put("x", "1", 0)
+	c.Put("y", "2", 0)
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("x survived in capacity-1 cache")
+	}
+	if e, ok := c.Get("y"); !ok || e.Value != "2" {
+		t.Fatal("y missing")
+	}
+}
+
+func TestLFUKeepsFrequent(t *testing.T) {
+	c := NewLFU[int](2)
+	c.Put("hot", 1, 0)
+	for i := 0; i < 5; i++ {
+		c.Get("hot")
+	}
+	c.Put("warm", 2, 0)
+	c.Put("cold", 3, 0) // must evict warm (freq 1), not hot (freq 6)
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatal("hot evicted despite high frequency")
+	}
+	if _, ok := c.Get("warm"); ok {
+		t.Fatal("warm should have been evicted")
+	}
+}
+
+func TestLFUTiebreakLRU(t *testing.T) {
+	c := NewLFU[int](2)
+	c.Put("a", 1, 0)
+	c.Put("b", 2, 0)
+	// Both freq 1; a is older in usage: touch b... actually both freq 1,
+	// eviction should take the least recently used: a.
+	c.Get("b")       // b now freq 2
+	c.Put("c", 3, 0) // evicts a (minFreq 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should survive")
+	}
+}
+
+func TestSDCStaticNeverEvicted(t *testing.T) {
+	c := NewSDC[int]([]string{"top1", "top2"}, 2)
+	c.Put("top1", 1, 0)
+	c.Put("top2", 2, 0)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("dyn%d", i), i, 0)
+	}
+	if _, ok := c.Get("top1"); !ok {
+		t.Fatal("static entry evicted by dynamic churn")
+	}
+	if _, ok := c.Get("top2"); !ok {
+		t.Fatal("static entry evicted by dynamic churn")
+	}
+	if c.Len() > 4 {
+		t.Fatalf("len = %d, want ≤ 4", c.Len())
+	}
+}
+
+func TestSDCBeatsLRUOnZipf(t *testing.T) {
+	// The Fagni et al. result in miniature: a Zipf query stream with a
+	// stable head. SDC (static = head, dynamic = LRU) must beat pure LRU
+	// of the same total capacity.
+	rng := rand.New(rand.NewSource(1))
+	z := randx.NewZipf(5000, 1.0)
+	const capTotal = 200
+	staticKeys := make([]string, capTotal/2)
+	for i := range staticKeys {
+		staticKeys[i] = fmt.Sprintf("q%d", i) // true popularity head
+	}
+	lru := NewLRU[int](capTotal)
+	sdc := NewSDC[int](staticKeys, capTotal/2)
+	run := func(c Cache[int]) float64 {
+		for i := 0; i < 100000; i++ {
+			key := fmt.Sprintf("q%d", z.Draw(rng))
+			if _, ok := c.Get(key); !ok {
+				c.Put(key, 1, float64(i))
+			}
+		}
+		return HitRatio(c)
+	}
+	lruRatio := run(lru)
+	sdcRatio := run(sdc)
+	if sdcRatio <= lruRatio {
+		t.Fatalf("SDC hit ratio %.3f not above LRU %.3f on Zipf stream", sdcRatio, lruRatio)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	if HitRatio[int](NewLRU[int](4)) != 0 {
+		t.Fatal("empty cache hit ratio not 0")
+	}
+}
+
+func TestStoredAtSupportsStaleness(t *testing.T) {
+	c := NewLRU[int](4)
+	c.Put("k", 7, 100)
+	e, ok := c.Get("k")
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	ttl := 50.0
+	now := 180.0
+	if fresh := now-e.StoredAt <= ttl; fresh {
+		t.Fatal("entry should be stale at t=180 with ttl=50")
+	}
+	// A failure-masking coordinator can still read the stale value.
+	if e.Value != 7 {
+		t.Fatal("stale value lost")
+	}
+}
+
+func TestCachesImplementInterface(t *testing.T) {
+	var _ Cache[int] = NewLRU[int](1)
+	var _ Cache[int] = NewLFU[int](1)
+	var _ Cache[int] = NewSDC[int](nil, 1)
+}

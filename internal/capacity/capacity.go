@@ -1,0 +1,92 @@
+// Package capacity implements the back-of-the-envelope capacity model of
+// Section 1 and the "analytical model" the paper's conclusion calls for:
+// given data volume and query workload parameters, it derives cluster
+// size, replication degree, total machine count, cost, and a response-
+// time estimate via the G/G/c front-end model.
+package capacity
+
+import (
+	"math"
+
+	"dwr/internal/queueing"
+)
+
+// Params are the inputs of the model. DefaultParams reproduces the
+// numbers worked in Section 1.
+type Params struct {
+	Pages            float64 // indexed pages
+	TextBytesPerPage float64 // average text per page
+	IndexRatio       float64 // index size as a fraction of text size
+	RAMBytesPerNode  float64 // index RAM per machine
+	ClusterQPS       float64 // sustained queries/s one cluster answers
+	QueriesPerDay    float64
+	PeakFactor       float64 // peak-to-average query rate ratio
+	CostPerNodeUSD   float64
+	// Front-end response-time model (Figure 6 parameters).
+	FrontEndThreads int
+	ServiceTimeSec  float64
+	ServiceCV2      float64
+}
+
+// DefaultParams returns the paper's Section 1 scenario: 20 billion
+// pages, 100 TB of text, a 25 TB index, ~8.5 GB of index RAM per
+// machine, clusters that answer 1,000 queries/s, 173 million queries a
+// day peaking around 10,000/s.
+func DefaultParams() Params {
+	return Params{
+		Pages:            20e9,
+		TextBytesPerPage: 5 * 1000, // 100 TB of text
+		IndexRatio:       0.25,     // 25 TB index
+		RAMBytesPerNode:  8.5e9,
+		ClusterQPS:       1000,
+		QueriesPerDay:    173e6,
+		PeakFactor:       5, // ~2,000/s average → ~10,000/s peak
+		CostPerNodeUSD:   3500,
+		FrontEndThreads:  150,
+		ServiceTimeSec:   0.05,
+		ServiceCV2:       1,
+	}
+}
+
+// Plan is the derived deployment.
+type Plan struct {
+	TextBytes        float64
+	IndexBytes       float64
+	NodesPerCluster  int
+	PeakQPS          float64
+	AvgQPS           float64
+	Replicas         int
+	TotalNodes       int
+	CostUSD          float64
+	FrontEndCapacity float64 // queries/s one front-end sustains (bound)
+	MeanResponseSec  float64 // front-end response estimate at 70% load
+}
+
+// Derive computes the deployment plan from the parameters.
+func Derive(p Params) Plan {
+	var pl Plan
+	pl.TextBytes = p.Pages * p.TextBytesPerPage
+	pl.IndexBytes = pl.TextBytes * p.IndexRatio
+	if p.RAMBytesPerNode > 0 {
+		pl.NodesPerCluster = int(math.Ceil(pl.IndexBytes / p.RAMBytesPerNode))
+	}
+	pl.AvgQPS = p.QueriesPerDay / 86400
+	pl.PeakQPS = pl.AvgQPS * p.PeakFactor
+	if p.ClusterQPS > 0 {
+		pl.Replicas = int(math.Ceil(pl.PeakQPS / p.ClusterQPS))
+	}
+	pl.TotalNodes = pl.NodesPerCluster * pl.Replicas
+	pl.CostUSD = float64(pl.TotalNodes) * p.CostPerNodeUSD
+	pl.FrontEndCapacity = queueing.CapacityBound(p.FrontEndThreads, p.ServiceTimeSec)
+	wait := queueing.KingmanWait(0.7*pl.FrontEndCapacity, p.FrontEndThreads, p.ServiceTimeSec, 1, p.ServiceCV2)
+	pl.MeanResponseSec = wait + p.ServiceTimeSec
+	return pl
+}
+
+// Project scales the page count and query volume by the given growth
+// factors (e.g. the paper's 2010 projection) and re-derives the plan.
+func Project(p Params, pageGrowth, queryGrowth float64) Plan {
+	p.Pages *= pageGrowth
+	p.QueriesPerDay *= queryGrowth
+	return Derive(p)
+}

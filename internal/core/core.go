@@ -1,0 +1,345 @@
+// Package core wires the substrates into the complete distributed Web
+// retrieval system the paper describes: a synthetic Web is crawled by
+// distributed agents, the crawled pages are parsed and partitioned, the
+// partitions are indexed, and queries are answered by a multi-site
+// distributed query processor with caching and collection selection.
+//
+// It is the public facade the examples and command-line tools build on;
+// the individual packages remain directly usable for finer-grained
+// experiments.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dwr/internal/crawler"
+	"dwr/internal/index"
+	"dwr/internal/partition"
+	"dwr/internal/qproc"
+	"dwr/internal/querylog"
+	"dwr/internal/randx"
+	"dwr/internal/rank"
+	"dwr/internal/selection"
+	"dwr/internal/simweb"
+	"dwr/internal/textproc"
+)
+
+// PartitionStrategy selects how crawled documents are split across query
+// processors.
+type PartitionStrategy int
+
+// Document partitioning strategies (Section 4).
+const (
+	// PartitionRandom assigns documents uniformly at random.
+	PartitionRandom PartitionStrategy = iota
+	// PartitionRoundRobin deals documents out in turn (balanced sizes).
+	PartitionRoundRobin
+	// PartitionKMeans clusters documents by topic (k-means on term
+	// vectors).
+	PartitionKMeans
+	// PartitionQueryDriven co-clusters documents by the training queries
+	// that retrieve them (Puppin et al.) and enables query-driven
+	// collection selection.
+	PartitionQueryDriven
+)
+
+// String implements fmt.Stringer.
+func (s PartitionStrategy) String() string {
+	switch s {
+	case PartitionRandom:
+		return "random"
+	case PartitionRoundRobin:
+		return "round-robin"
+	case PartitionKMeans:
+		return "k-means"
+	case PartitionQueryDriven:
+		return "query-driven"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config assembles a full engine. Zero values fall back to defaults.
+type Config struct {
+	Seed       int64
+	Web        simweb.Config
+	Crawl      crawler.Config
+	Index      index.Options
+	Partitions int
+	Strategy   PartitionStrategy
+	// TrainQueries is the size of the training log used by
+	// PartitionQueryDriven (ignored otherwise).
+	TrainQueries int
+}
+
+// DefaultConfig returns a laptop-scale end-to-end configuration.
+func DefaultConfig() Config {
+	web := simweb.DefaultConfig()
+	web.Hosts = 80
+	web.MaxPages = 60
+	web.VocabSize = 3000
+	return Config{
+		Seed:         1,
+		Web:          web,
+		Crawl:        crawler.DefaultConfig(),
+		Index:        index.DefaultOptions(),
+		Partitions:   4,
+		Strategy:     PartitionRoundRobin,
+		TrainQueries: 4000,
+	}
+}
+
+// Engine is a built distributed Web retrieval system.
+type Engine struct {
+	Config    Config
+	Web       *simweb.Web
+	Crawler   *crawler.Crawler
+	CrawlInfo crawler.Stats
+	Docs      []index.Doc
+	Partition partition.DocPartition
+	Query     *qproc.DocEngine
+	Selector  selection.Selector // non-nil when Strategy supports selection
+	urls      map[int]string     // doc ext ID -> URL
+}
+
+// Build runs the offline half of the paper's pipeline — crawl, parse,
+// partition, index — and returns an engine ready to answer queries.
+func Build(cfg Config) (*Engine, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	e := &Engine{Config: cfg, urls: make(map[int]string)}
+	e.Web = simweb.New(cfg.Web)
+
+	// Crawl: seed with every host's front page for full reachability.
+	e.Crawler = crawler.New(e.Web, cfg.Crawl)
+	var seeds []string
+	for _, h := range e.Web.Hosts {
+		if len(h.Pages) > 0 {
+			seeds = append(seeds, e.Web.URL(h.Pages[0]))
+		}
+	}
+	e.Crawler.Seed(seeds)
+	e.CrawlInfo = e.Crawler.Run()
+
+	// Parse crawled pages into tokenized documents.
+	ids := make([]int, 0, len(e.Crawler.Pages()))
+	for pid := range e.Crawler.Pages() {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	for _, pid := range ids {
+		p := e.Crawler.Pages()[pid]
+		doc := textproc.ParseHTML(p.HTML)
+		terms := textproc.Tokenize(doc.Text)
+		if len(terms) == 0 {
+			continue
+		}
+		e.Docs = append(e.Docs, index.Doc{Ext: pid, Terms: terms})
+		e.urls[pid] = p.URL
+	}
+	if len(e.Docs) == 0 {
+		return nil, fmt.Errorf("core: crawl produced no indexable documents")
+	}
+
+	if err := e.partitionAndIndex(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) partitionAndIndex() error {
+	cfg := e.Config
+	rng := randx.New(cfg.Seed + 77)
+	ids := make([]int, len(e.Docs))
+	for i, d := range e.Docs {
+		ids[i] = d.Ext
+	}
+	switch cfg.Strategy {
+	case PartitionRandom:
+		e.Partition = partition.RandomDocs(rng, ids, cfg.Partitions)
+	case PartitionKMeans:
+		e.Partition = partition.KMeansDocs(rng, e.docVectors(), cfg.Partitions, 15)
+	case PartitionQueryDriven:
+		res, train, err := e.trainQueryDriven(rng)
+		if err != nil {
+			return err
+		}
+		e.Partition = res.Partition
+		e.Selector = selection.NewQueryDriven(res, train)
+	default:
+		e.Partition = partition.RoundRobinDocs(ids, cfg.Partitions)
+	}
+	q, err := qproc.NewDocEngine(cfg.Index, e.Docs, e.Partition)
+	if err != nil {
+		return err
+	}
+	e.Query = q
+	if e.Selector == nil {
+		var stats []index.Stats
+		for p := 0; p < q.K(); p++ {
+			stats = append(stats, q.PartIndex(p).LocalStats(nil))
+		}
+		e.Selector = selection.NewCORI(stats)
+	}
+	return nil
+}
+
+// docVectors builds sparse term-ID vectors for k-means.
+func (e *Engine) docVectors() []partition.DocVector {
+	termID := make(map[string]int)
+	vecs := make([]partition.DocVector, len(e.Docs))
+	for i, d := range e.Docs {
+		tf := make(map[int]float64)
+		for _, t := range d.Terms {
+			id, ok := termID[t]
+			if !ok {
+				id = len(termID)
+				termID[t] = id
+			}
+			tf[id]++
+		}
+		vecs[i] = partition.DocVector{Ext: d.Ext, TF: tf}
+	}
+	return vecs
+}
+
+// trainQueryDriven generates a training log, evaluates it on a central
+// index, and co-clusters documents by the queries that retrieve them.
+func (e *Engine) trainQueryDriven(rng *rand.Rand) (partition.CoClusterResult, []partition.QueryDocs, error) {
+	lcfg := querylog.DefaultConfig()
+	lcfg.Seed = e.Config.Seed + 13
+	lcfg.Total = e.Config.TrainQueries
+	lcfg.Distinct = e.Config.TrainQueries / 8
+	if lcfg.Distinct < 50 {
+		lcfg.Distinct = 50
+	}
+	lg := querylog.Generate(e.Web, lcfg)
+
+	b := index.NewBuilder(e.Config.Index)
+	for _, d := range e.Docs {
+		b.AddDocument(d.Ext, d.Terms)
+	}
+	central := b.Build()
+	scorer := rank.NewScorer(rank.FromIndex(central))
+
+	seen := make(map[string]bool)
+	var train []partition.QueryDocs
+	for _, q := range lg.Queries {
+		if seen[q.Key] {
+			continue
+		}
+		seen[q.Key] = true
+		rs, _ := rank.EvaluateOR(central, scorer, q.Terms, 20)
+		docs := make([]int, len(rs))
+		for i, r := range rs {
+			docs[i] = r.Doc
+		}
+		train = append(train, partition.QueryDocs{Key: q.Key, Terms: q.Terms, Docs: docs})
+	}
+	ids := make([]int, len(e.Docs))
+	for i, d := range e.Docs {
+		ids[i] = d.Ext
+	}
+	res := partition.CoClusterDocs(rng, train, ids, e.Config.Partitions, 15)
+	return res, train, nil
+}
+
+// SearchResult is one answer to a user query.
+type SearchResult struct {
+	URL   string
+	Doc   int
+	Score float64
+}
+
+// SearchOptions tunes Search.
+type SearchOptions struct {
+	K       int
+	SelectN int // contact only the best-N partitions (0 = all)
+}
+
+// Search answers a free-text query against the distributed engine using
+// the two-round global-statistics protocol.
+func (e *Engine) Search(query string, opt SearchOptions) []SearchResult {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	terms := textproc.Tokenize(strings.ToLower(query))
+	if len(terms) == 0 {
+		return nil
+	}
+	qopt := qproc.DocQueryOptions{K: opt.K, Stats: qproc.GlobalTwoRound}
+	if opt.SelectN > 0 {
+		qopt.Selector = e.Selector
+		qopt.SelectN = opt.SelectN
+	}
+	qr := e.Query.Query(terms, qopt)
+	out := make([]SearchResult, len(qr.Results))
+	for i, r := range qr.Results {
+		out[i] = SearchResult{URL: e.urls[r.Doc], Doc: r.Doc, Score: r.Score}
+	}
+	return out
+}
+
+// URLOf resolves a document ID to its URL ("" if unknown).
+func (e *Engine) URLOf(doc int) string { return e.urls[doc] }
+
+// Refresh brings the engine's collection up to virtual day `day`: an
+// incremental re-crawl (If-Modified-Since, optionally sitemaps) updates
+// the stored pages, and the partition indexes are rebuilt — the paper's
+// observation that "indexes are usually rebuilt from scratch after each
+// update of the underlying document collection" (§4, Communication).
+// The document partition is recomputed with the configured strategy.
+func (e *Engine) Refresh(day int, useSitemaps bool) (crawler.RecrawlStats, error) {
+	st := e.Crawler.Recrawl(day, useSitemaps)
+
+	// Re-parse the (possibly updated) pages.
+	e.Docs = e.Docs[:0]
+	e.urls = make(map[int]string)
+	ids := make([]int, 0, len(e.Crawler.Pages()))
+	for pid := range e.Crawler.Pages() {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	for _, pid := range ids {
+		p := e.Crawler.Pages()[pid]
+		doc := textproc.ParseHTML(p.HTML)
+		terms := textproc.Tokenize(doc.Text)
+		if len(terms) == 0 {
+			continue
+		}
+		e.Docs = append(e.Docs, index.Doc{Ext: pid, Terms: terms})
+		e.urls[pid] = p.URL
+	}
+	if len(e.Docs) == 0 {
+		return st, fmt.Errorf("core: refresh left no indexable documents")
+	}
+	e.Selector = nil // rebuilt by partitionAndIndex
+	if err := e.partitionAndIndex(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// SearchPhrase answers an exact-phrase query: documents containing the
+// query's tokens consecutively, ranked by phrase frequency. Positions
+// never leave a partition (§5's argument for document partitioning under
+// proximity search).
+func (e *Engine) SearchPhrase(query string, k int) []SearchResult {
+	if k <= 0 {
+		k = 10
+	}
+	terms := textproc.Tokenize(strings.ToLower(query))
+	if len(terms) == 0 {
+		return nil
+	}
+	qr := e.Query.QueryPhrase(terms, k)
+	out := make([]SearchResult, len(qr.Results))
+	for i, r := range qr.Results {
+		out[i] = SearchResult{URL: e.urls[r.Doc], Doc: r.Doc, Score: r.Score}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"dwr/internal/index"
+	"dwr/internal/metrics"
+	"dwr/internal/partition"
+)
+
+// Claim15OnlineMaintenance (C15) quantifies the §4 online-maintenance
+// discussion: a dynamic index (in-memory buffer + geometrically merged
+// segments, per the paper's reference [15]) serves queries while being
+// updated; the update path's write lock "lockout" is measured as query
+// latency interference; and the paper's observation that term
+// partitioning amplifies lockout — "terms that require frequent updates
+// might be spread across different servers" — is measured as the number
+// of servers a single-document update must touch under each partitioning.
+func Claim15OnlineMaintenance() *Result {
+	f := sharedFixture()
+	r := &Result{ID: "C15", Title: "Online index maintenance: lockout under concurrent updates"}
+
+	// Phase 1: concurrent updates and queries against the dynamic index,
+	// for two buffer sizes. Small buffers flush often (frequent short
+	// locks); large buffers flush rarely (rare long locks).
+	run := func(bufferCap int) (p50, p99, lockMs float64, segments int) {
+		d := index.NewDynamic(index.DefaultOptions(), bufferCap, 3)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		var lat metrics.Sample
+		var latMu sync.Mutex
+		queries := queryTerms(f.test, 200)
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, doc := range f.docs[:1200] {
+				if err := d.Add(doc.Ext, doc.Terms); err != nil {
+					break
+				}
+			}
+			close(stop)
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[i%len(queries)]
+				i++
+				t0 := time.Now()
+				d.Search(q, 10)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				latMu.Lock()
+				lat.Add(ms)
+				latMu.Unlock()
+			}
+		}()
+		wg.Wait()
+		st := d.Maintenance()
+		return lat.Quantile(0.5), lat.Quantile(0.99), st.LockHeldMs, st.Segments
+	}
+	t := metrics.NewTable("query latency under a concurrent update stream (1,200 docs)",
+		"buffer", "query p50 (ms)", "query p99 (ms)", "write-lock held (ms)", "segments")
+	small50, small99, smallLock, smallSeg := run(16)
+	large50, large99, largeLock, largeSeg := run(256)
+	t.AddRow("16 docs (frequent short locks)", small50, small99, smallLock, smallSeg)
+	t.AddRow("256 docs (rare long locks)", large50, large99, largeLock, largeSeg)
+	r.Tables = append(r.Tables, t)
+
+	// Phase 2: lockout amplification under term partitioning. A single
+	// document's update touches 1 partition in a document-partitioned
+	// system, but every term server owning any of its terms in a
+	// term-partitioned one.
+	const k = 8
+	tp := partition.BinPackTerms(f.central.Terms(), func(t string) float64 {
+		return float64(f.central.DF(t))
+	}, k)
+	var w metrics.Welford
+	for _, doc := range f.docs[:300] {
+		servers := map[int]bool{}
+		for _, term := range doc.Terms {
+			if p, ok := tp.Assign[term]; ok {
+				servers[p] = true
+			}
+		}
+		w.Add(float64(len(servers)))
+	}
+	amp := metrics.NewTable("servers locked by a single-document update (8 servers)",
+		"partitioning", "avg servers locked", "max")
+	amp.AddRow("document", 1, 1)
+	amp.AddRow("term", w.Mean(), w.Max())
+	r.Tables = append(r.Tables, amp)
+
+	r.Values = map[string]float64{
+		"small_p99":         small99,
+		"large_p99":         large99,
+		"small_lock_ms":     smallLock,
+		"large_lock_ms":     largeLock,
+		"doc_lock_servers":  1,
+		"term_lock_servers": w.Mean(),
+	}
+	r.Notes = append(r.Notes,
+		"paper: the dynamic index 'constrains the capacity and the response time of the system since the update operation usually requires locking the index ... even more problematic in the case of term partitioned distributed IR systems'")
+	return r
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper,
+// plus the quantitative claims embedded in its prose, as printable
+// reports with machine-checkable headline values. cmd/dwrbench renders
+// them; the repository-root benchmarks time them; EXPERIMENTS.md records
+// paper-reported versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dwr/internal/metrics"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID     string // e.g. "F2", "C7"
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+	// Values holds the headline measurements, keyed by short names, so
+	// tests and EXPERIMENTS.md can assert the reproduced shape.
+	Values map[string]float64
+}
+
+// String renders the experiment report.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "===== %s — %s =====\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("headline: ")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%s", k, metrics.FormatFloat(r.Values[k]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []struct {
+	ID  string
+	Run func() *Result
+} {
+	return []struct {
+		ID  string
+		Run func() *Result
+	}{
+		{"T1", Table1Inventory},
+		{"F1", Figure1Partitioning},
+		{"F2", Figure2BusyLoad},
+		{"F5", Figure5Availability},
+		{"F6", Figure6Capacity},
+		{"C1", Claim1CapacityPlan},
+		{"C2", Claim2ConsistentHashing},
+		{"C3", Claim3URLExchange},
+		{"C4", Claim4DNSCache},
+		{"C5", Claim5Coverage},
+		{"C6", Claim6TermVsDoc},
+		{"C7", Claim7BinPacking},
+		{"C8", Claim8CollectionSelection},
+		{"C9", Claim9GlobalStats},
+		{"C10", Claim10Caching},
+		{"C11", Claim11Replication},
+		{"C12", Claim12MultiSiteRouting},
+		{"C13", Claim13Incremental},
+		{"C14", Claim14IndexBuild},
+		{"C15", Claim15OnlineMaintenance},
+		{"C16", Claim16DriftReconfiguration},
+		{"C17", Claim17LanguageRouting},
+		{"C18", Claim18GeoCrawling},
+		{"C19", Claim19P2PArchitecture},
+		{"C20", Claim20PhraseShipping},
+		{"C21", Claim21Personalization},
+		{"C22", Claim22FederatedVsOpen},
+		{"C23", Claim23FrontierPrioritization},
+	}
+}
+
+// Run executes one experiment by ID, or returns nil for unknown IDs.
+func Run(id string) *Result {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e.Run()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"dwr/internal/index"
+	"dwr/internal/querylog"
+	"dwr/internal/simweb"
+	"dwr/internal/textproc"
+)
+
+// fixture is the shared corpus most experiments replay: one synthetic
+// Web, its tokenized documents, a central index, and a query log split
+// into training and test days. It is built once and reused read-only.
+type fixture struct {
+	web     *simweb.Web
+	docs    []index.Doc
+	central *index.Index
+	log     *querylog.Log
+	train   *querylog.Log
+	test    *querylog.Log
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+// sharedFixture builds (once) the standard experiment corpus.
+func sharedFixture() *fixture {
+	fixOnce.Do(func() {
+		wcfg := simweb.DefaultConfig()
+		wcfg.Hosts = 250
+		wcfg.MinPages = 4
+		wcfg.MaxPages = 150
+		wcfg.VocabSize = 4000
+		web := simweb.New(wcfg)
+
+		// Documents come straight from page terms (the crawler's parse
+		// path is exercised by C5; here we want the exact collection).
+		var docs []index.Doc
+		for _, p := range web.Pages {
+			if p.Private {
+				continue
+			}
+			h := web.Hosts[p.Host]
+			vocab := web.Vocabs[h.Lang]
+			terms := make([]string, len(p.Terms))
+			for i, tid := range p.Terms {
+				terms[i] = vocab.Word(int(tid))
+			}
+			docs = append(docs, index.Doc{Ext: p.ID, Terms: terms})
+		}
+		sort.Slice(docs, func(i, j int) bool { return docs[i].Ext < docs[j].Ext })
+
+		b := index.NewBuilder(index.DefaultOptions())
+		for _, d := range docs {
+			b.AddDocument(d.Ext, d.Terms)
+		}
+		central := b.Build()
+
+		lcfg := querylog.DefaultConfig()
+		lcfg.Distinct = 1500
+		lcfg.Total = 15000
+		lg := querylog.Generate(web, lcfg)
+		train, test := lg.SplitByDay(10)
+
+		fix = &fixture{web: web, docs: docs, central: central, log: lg, train: train, test: test}
+	})
+	return fix
+}
+
+// docIDs returns the external IDs of the fixture documents.
+func (f *fixture) docIDs() []int {
+	ids := make([]int, len(f.docs))
+	for i, d := range f.docs {
+		ids[i] = d.Ext
+	}
+	return ids
+}
+
+// queryTerms extracts the term slices of a log's instances, capped at n.
+func queryTerms(lg *querylog.Log, n int) [][]string {
+	if n > len(lg.Queries) {
+		n = len(lg.Queries)
+	}
+	out := make([][]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = lg.Queries[i].Terms
+	}
+	return out
+}
+
+// parseHTMLToDoc is used by crawl-path experiments to turn fetched HTML
+// into an index document.
+func parseHTMLToDoc(ext int, html string) index.Doc {
+	d := textproc.ParseHTML(html)
+	return index.Doc{Ext: ext, Terms: textproc.Tokenize(d.Text)}
+}

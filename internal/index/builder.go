@@ -1,0 +1,226 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs an Index incrementally in memory: the vanilla
+// inverter that keeps a growing posting buffer per term. It is the
+// reference implementation the other construction strategies are checked
+// against.
+type Builder struct {
+	opts    Options
+	posting map[string][]Posting
+	docs    []docEntry
+	byExt   map[int]int
+	total   int64
+}
+
+// NewBuilder creates an in-memory builder with the given layout options.
+func NewBuilder(opts Options) *Builder {
+	return &Builder{
+		opts:    opts,
+		posting: make(map[string][]Posting),
+		byExt:   make(map[int]int),
+	}
+}
+
+// AddDocument indexes one tokenized document under external ID ext.
+// Adding the same external ID twice panics: the indexing pipeline
+// deduplicates upstream, so a duplicate here is a bug.
+func (b *Builder) AddDocument(ext int, terms []string) {
+	if _, dup := b.byExt[ext]; dup {
+		panic(fmt.Sprintf("index: duplicate document %d", ext))
+	}
+	doc := int32(len(b.docs))
+	b.byExt[ext] = int(doc)
+	b.docs = append(b.docs, docEntry{ext: ext, length: len(terms)})
+	b.total += int64(len(terms))
+
+	// Group positions per term for this document.
+	occ := make(map[string][]int32)
+	for i, t := range terms {
+		occ[t] = append(occ[t], int32(i))
+	}
+	for t, poss := range occ {
+		p := Posting{Doc: doc, TF: int32(len(poss))}
+		if b.opts.StorePositions {
+			p.Pos = poss
+		}
+		b.posting[t] = append(b.posting[t], p)
+	}
+}
+
+// AddDocumentFiltered indexes only the terms of the document for which
+// keep returns true, while recording the document's full length and the
+// original token positions. Term-partitioned servers use this to hold
+// complete postings for their term range with correct BM25 length
+// normalization.
+func (b *Builder) AddDocumentFiltered(ext int, terms []string, keep func(string) bool) {
+	if _, dup := b.byExt[ext]; dup {
+		panic(fmt.Sprintf("index: duplicate document %d", ext))
+	}
+	doc := int32(len(b.docs))
+	b.byExt[ext] = int(doc)
+	b.docs = append(b.docs, docEntry{ext: ext, length: len(terms)})
+	b.total += int64(len(terms))
+
+	occ := make(map[string][]int32)
+	for i, t := range terms {
+		if keep(t) {
+			occ[t] = append(occ[t], int32(i))
+		}
+	}
+	for t, poss := range occ {
+		p := Posting{Doc: doc, TF: int32(len(poss))}
+		if b.opts.StorePositions {
+			p.Pos = poss
+		}
+		b.posting[t] = append(b.posting[t], p)
+	}
+}
+
+// NumDocs returns how many documents have been added.
+func (b *Builder) NumDocs() int { return len(b.docs) }
+
+// Build freezes the builder into an immutable Index. The builder must
+// not be used afterwards.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		opts:     b.opts,
+		terms:    make(map[string]int, len(b.posting)),
+		docs:     b.docs,
+		docByExt: b.byExt,
+		totalLen: b.total,
+	}
+	terms := make([]string, 0, len(b.posting))
+	for t := range b.posting {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	ix.termList = make([]termEntry, len(terms))
+	for i, t := range terms {
+		ix.terms[t] = i
+		ix.termList[i] = termEntry{term: t, pl: encodePostings(b.posting[t], b.opts)}
+	}
+	return ix
+}
+
+// SortBuilder implements classic sort-based index construction
+// (Witten, Moffat & Bell, "Managing Gigabytes"; paper §4): it records
+// one (term, doc, position) triple per occurrence, sorts the triples at
+// the end, and emits postings from the sorted run.
+type SortBuilder struct {
+	opts  Options
+	recs  []occRecord
+	docs  []docEntry
+	byExt map[int]int
+	total int64
+}
+
+type occRecord struct {
+	term string
+	doc  int32
+	pos  int32
+}
+
+// NewSortBuilder creates a sort-based builder.
+func NewSortBuilder(opts Options) *SortBuilder {
+	return &SortBuilder{opts: opts, byExt: make(map[int]int)}
+}
+
+// AddDocument records the occurrence triples of one document.
+func (b *SortBuilder) AddDocument(ext int, terms []string) {
+	if _, dup := b.byExt[ext]; dup {
+		panic(fmt.Sprintf("index: duplicate document %d", ext))
+	}
+	doc := int32(len(b.docs))
+	b.byExt[ext] = int(doc)
+	b.docs = append(b.docs, docEntry{ext: ext, length: len(terms)})
+	b.total += int64(len(terms))
+	for i, t := range terms {
+		b.recs = append(b.recs, occRecord{term: t, doc: doc, pos: int32(i)})
+	}
+}
+
+// Build sorts the occurrence records and assembles the index.
+func (b *SortBuilder) Build() *Index {
+	sort.Slice(b.recs, func(i, j int) bool {
+		a, c := b.recs[i], b.recs[j]
+		if a.term != c.term {
+			return a.term < c.term
+		}
+		if a.doc != c.doc {
+			return a.doc < c.doc
+		}
+		return a.pos < c.pos
+	})
+	ix := &Index{
+		opts:     b.opts,
+		terms:    make(map[string]int),
+		docs:     b.docs,
+		docByExt: b.byExt,
+		totalLen: b.total,
+	}
+	i := 0
+	for i < len(b.recs) {
+		term := b.recs[i].term
+		var ps []Posting
+		for i < len(b.recs) && b.recs[i].term == term {
+			doc := b.recs[i].doc
+			var poss []int32
+			for i < len(b.recs) && b.recs[i].term == term && b.recs[i].doc == doc {
+				poss = append(poss, b.recs[i].pos)
+				i++
+			}
+			p := Posting{Doc: doc, TF: int32(len(poss))}
+			if b.opts.StorePositions {
+				p.Pos = poss
+			}
+			ps = append(ps, p)
+		}
+		ix.terms[term] = len(ix.termList)
+		ix.termList = append(ix.termList, termEntry{term: term, pl: encodePostings(ps, b.opts)})
+	}
+	return ix
+}
+
+// Equal reports whether two indexes contain the same documents, lexicon,
+// and postings (including positions when both store them). It is the
+// cross-checking oracle for the different construction strategies.
+func Equal(a, b *Index) bool {
+	if a.NumDocs() != b.NumDocs() || a.NumTerms() != b.NumTerms() || a.totalLen != b.totalLen {
+		return false
+	}
+	for i := range a.docs {
+		if a.docs[i] != b.docs[i] {
+			return false
+		}
+	}
+	for i := range a.termList {
+		ta := &a.termList[i]
+		tb, ok := b.terms[ta.term]
+		if !ok {
+			return false
+		}
+		pa := ta.pl.decodeAll(a.opts)
+		pb := b.termList[tb].pl.decodeAll(b.opts)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for j := range pa {
+			if pa[j].Doc != pb[j].Doc || pa[j].TF != pb[j].TF {
+				return false
+			}
+			if a.opts.StorePositions && b.opts.StorePositions {
+				for k := range pa[j].Pos {
+					if pa[j].Pos[k] != pb[j].Pos[k] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

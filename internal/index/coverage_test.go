@@ -1,0 +1,161 @@
+package index
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Targeted tests for paths the main suites exercise only indirectly.
+
+func TestAddDocumentFilteredKeepsFullLength(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	terms := []string{"keep", "drop", "keep", "drop", "drop"}
+	b.AddDocumentFiltered(9, terms, func(t string) bool { return t == "keep" })
+	ix := b.Build()
+	// Only the kept term is indexed...
+	if ix.DF("keep") != 1 || ix.DF("drop") != 0 {
+		t.Fatalf("df keep=%d drop=%d", ix.DF("keep"), ix.DF("drop"))
+	}
+	// ...but the document's true length (for BM25 normalization) is the
+	// full token count.
+	if ix.DocLen(0) != 5 {
+		t.Fatalf("DocLen = %d, want 5", ix.DocLen(0))
+	}
+	// Positions are the original token positions.
+	it := ix.PostingsWithPositions("keep")
+	it.Next()
+	p := it.Posting()
+	if p.TF != 2 || p.Pos[0] != 0 || p.Pos[1] != 2 {
+		t.Fatalf("posting = %+v, want tf=2 pos=[0 2]", p)
+	}
+}
+
+func TestAddDocumentFilteredDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddDocumentFiltered did not panic")
+		}
+	}()
+	b := NewBuilder(DefaultOptions())
+	b.AddDocumentFiltered(1, []string{"a"}, func(string) bool { return true })
+	b.AddDocumentFiltered(1, []string{"b"}, func(string) bool { return true })
+}
+
+func TestBuilderNumDocs(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	if b.NumDocs() != 0 {
+		t.Fatal("fresh builder not empty")
+	}
+	b.AddDocument(1, []string{"x"})
+	b.AddDocument(2, []string{"y"})
+	if b.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d", b.NumDocs())
+	}
+}
+
+func TestPostingBytes(t *testing.T) {
+	ix := buildTiny(DefaultOptions())
+	if ix.PostingBytes("apple") <= 0 {
+		t.Fatal("present term has no posting bytes")
+	}
+	if ix.PostingBytes("missing") != 0 {
+		t.Fatal("absent term has posting bytes")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	mk := func(tfB int32) *Index {
+		b := NewBuilder(DefaultOptions())
+		terms := []string{"a"}
+		for i := int32(0); i < tfB; i++ {
+			terms = append(terms, "b")
+		}
+		b.AddDocument(1, terms)
+		return b.Build()
+	}
+	if Equal(mk(1), mk(2)) {
+		t.Fatal("Equal missed a TF difference")
+	}
+	// Different doc sets.
+	a := NewBuilder(DefaultOptions())
+	a.AddDocument(1, []string{"x"})
+	c := NewBuilder(DefaultOptions())
+	c.AddDocument(2, []string{"x"})
+	if Equal(a.Build(), c.Build()) {
+		t.Fatal("Equal missed a document-ID difference")
+	}
+	// Different lexicons, same sizes.
+	d := NewBuilder(DefaultOptions())
+	d.AddDocument(1, []string{"y"})
+	if Equal(a.Build(), d.Build()) {
+		t.Fatal("Equal missed a lexicon difference")
+	}
+}
+
+func TestNewDynamicClampsArguments(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 0, 0)
+	// Defaults applied: must still work end to end.
+	for i := 0; i < 70; i++ {
+		if err := d.Add(i, []string{"w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumDocs() != 70 {
+		t.Fatalf("NumDocs = %d", d.NumDocs())
+	}
+}
+
+func TestDynamicDeleteUnknownNoop(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 2)
+	d.Add(1, []string{"a"})
+	d.Delete(999) // unknown: no effect, no panic
+	if d.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d after deleting unknown doc", d.NumDocs())
+	}
+}
+
+func TestReconstructTermsWithoutPositions(t *testing.T) {
+	opts := Options{Compress: true, StorePositions: false, SkipInterval: 0}
+	b := NewBuilder(opts)
+	b.AddDocument(3, []string{"x", "y", "x"})
+	ix := b.Build()
+	got := reconstructTerms(ix, 0)
+	if len(got) != 3 {
+		t.Fatalf("reconstructed %d terms, want 3 (bag form)", len(got))
+	}
+	counts := map[string]int{}
+	for _, g := range got {
+		counts[g]++
+	}
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Fatalf("bag = %v", counts)
+	}
+}
+
+func TestWriteFileToUnwritablePath(t *testing.T) {
+	ix := buildTiny(DefaultOptions())
+	err := ix.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.idx"))
+	if err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}
+
+func TestNewSPIMIBuilderBadDir(t *testing.T) {
+	if _, err := NewSPIMIBuilder(DefaultOptions(), 1024, filepath.Join(t.TempDir(), "missing", "deep")); err == nil {
+		t.Fatal("SPIMI accepted an uncreatable spill dir")
+	}
+}
+
+func TestSPIMIDefaultBudget(t *testing.T) {
+	sp, err := NewSPIMIBuilder(DefaultOptions(), 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddDocument(1, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := sp.Build()
+	if err != nil || ix.NumDocs() != 1 {
+		t.Fatalf("build: %v, docs %d", err, ix.NumDocs())
+	}
+}

@@ -1,0 +1,281 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Doc is one tokenized input document for the distributed builders.
+type Doc struct {
+	Ext   int
+	Terms []string
+}
+
+// BuildMapReduce constructs an index with the map-reduce strategy of
+// Dean & Ghemawat that the paper cites for distributed index
+// construction (§4): mappers invert disjoint document chunks in
+// parallel, reducers own disjoint term ranges and merge the partial
+// posting lists, and the shuffled result is assembled into one index.
+func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, error) {
+	if mappers <= 0 {
+		mappers = 1
+	}
+	if reducers <= 0 {
+		reducers = 1
+	}
+	if err := checkDuplicates(docs); err != nil {
+		return nil, err
+	}
+
+	// Map phase: chunk documents contiguously, invert each chunk in
+	// parallel with the reference builder.
+	chunks := make([][]Doc, mappers)
+	per := (len(docs) + mappers - 1) / mappers
+	for i := 0; i < mappers; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(docs) {
+			lo = len(docs)
+		}
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		chunks[i] = docs[lo:hi]
+	}
+	partials := make([]*Index, mappers)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := NewBuilder(opts)
+			for _, d := range chunks[i] {
+				b.AddDocument(d.Ext, d.Terms)
+			}
+			partials[i] = b.Build()
+		}(i)
+	}
+	wg.Wait()
+
+	// Global document table, sorted by external ID, shared by reducers.
+	ix, remap := mergeDocTables(opts, partials)
+
+	// Shuffle: assign terms to reducers by hash; each reducer merges its
+	// terms' postings from every partial.
+	termSet := make(map[string]bool)
+	for _, p := range partials {
+		for i := range p.termList {
+			termSet[p.termList[i].term] = true
+		}
+	}
+	allTerms := make([]string, 0, len(termSet))
+	for t := range termSet {
+		allTerms = append(allTerms, t)
+	}
+	sort.Strings(allTerms)
+
+	byReducer := make([][]string, reducers)
+	for _, t := range allTerms {
+		r := int(stringHash(t) % uint64(reducers))
+		byReducer[r] = append(byReducer[r], t)
+	}
+
+	type reducedTerm struct {
+		term string
+		pl   postingList
+	}
+	results := make([][]reducedTerm, reducers)
+	for r := 0; r < reducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]reducedTerm, 0, len(byReducer[r]))
+			for _, t := range byReducer[r] {
+				var merged []Posting
+				for pi, p := range partials {
+					i, ok := p.terms[t]
+					if !ok {
+						continue
+					}
+					for _, post := range p.termList[i].pl.decodeAll(p.opts) {
+						post.Doc = remap[pi][post.Doc]
+						merged = append(merged, post)
+					}
+				}
+				sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
+				out = append(out, reducedTerm{term: t, pl: encodePostings(merged, opts)})
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	var flat []reducedTerm
+	for _, rs := range results {
+		flat = append(flat, rs...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].term < flat[j].term })
+	for _, rt := range flat {
+		ix.terms[rt.term] = len(ix.termList)
+		ix.termList = append(ix.termList, termEntry{term: rt.term, pl: rt.pl})
+	}
+	return ix, nil
+}
+
+// BuildPipeline constructs an index with the pipelined organization of
+// Melink et al. (§4): documents stream through a chain of stage workers,
+// each owning a contiguous lexicographic term range and inverting only
+// the occurrences in its range; the per-stage partial indexes are merged
+// at the end of the pipe.
+func BuildPipeline(opts Options, docs []Doc, stages int) (*Index, error) {
+	if stages <= 0 {
+		stages = 1
+	}
+	if err := checkDuplicates(docs); err != nil {
+		return nil, err
+	}
+
+	// Determine term-range boundaries from a sample of the vocabulary so
+	// stages get comparable work.
+	vocab := make(map[string]bool)
+	for _, d := range docs {
+		for _, t := range d.Terms {
+			vocab[t] = true
+		}
+	}
+	terms := make([]string, 0, len(vocab))
+	for t := range vocab {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if len(terms) == 0 {
+		stages = 1
+	}
+	bounds := make([]string, stages-1) // stage s handles [bounds[s-1], bounds[s])
+	for s := 1; s < stages; s++ {
+		bounds[s-1] = terms[len(terms)*s/stages]
+	}
+	stageOf := func(t string) int {
+		return sort.SearchStrings(bounds, t+"\x00")
+	}
+
+	// The pipeline: doc channel per stage; each stage inverts its range
+	// and forwards the document to the next stage.
+	type stageDoc struct {
+		local int32
+		terms []string
+	}
+	chans := make([]chan stageDoc, stages)
+	for i := range chans {
+		chans[i] = make(chan stageDoc, 32)
+	}
+	partialPost := make([]map[string][]Posting, stages)
+	var wg sync.WaitGroup
+	for s := 0; s < stages; s++ {
+		partialPost[s] = make(map[string][]Posting)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for d := range chans[s] {
+				occ := make(map[string][]int32)
+				for i, t := range d.terms {
+					if stageOf(t) == s {
+						occ[t] = append(occ[t], int32(i))
+					}
+				}
+				for t, poss := range occ {
+					p := Posting{Doc: d.local, TF: int32(len(poss))}
+					if opts.StorePositions {
+						p.Pos = poss
+					}
+					partialPost[s][t] = append(partialPost[s][t], p)
+				}
+				if s+1 < stages {
+					chans[s+1] <- d
+				}
+			}
+			if s+1 < stages {
+				close(chans[s+1])
+			}
+		}(s)
+	}
+
+	// Feed documents in external-ID order so internal ordinals match the
+	// other builders.
+	sorted := append([]Doc(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ext < sorted[j].Ext })
+	ix := &Index{opts: opts, terms: make(map[string]int), docByExt: make(map[int]int)}
+	for li, d := range sorted {
+		ix.docs = append(ix.docs, docEntry{ext: d.Ext, length: len(d.Terms)})
+		ix.docByExt[d.Ext] = li
+		ix.totalLen += int64(len(d.Terms))
+		chans[0] <- stageDoc{local: int32(li), terms: d.Terms}
+	}
+	close(chans[0])
+	wg.Wait()
+
+	// Collect stage outputs: term ranges are disjoint, so simple union.
+	var all []string
+	for s := 0; s < stages; s++ {
+		for t := range partialPost[s] {
+			all = append(all, t)
+		}
+	}
+	sort.Strings(all)
+	for _, t := range all {
+		ps := partialPost[stageOf(t)][t]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
+		ix.terms[t] = len(ix.termList)
+		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(ps, opts)})
+	}
+	return ix, nil
+}
+
+// mergeDocTables builds the shell of a merged index (documents only,
+// sorted by external ID) plus per-part document remap tables.
+func mergeDocTables(opts Options, parts []*Index) (*Index, [][]int32) {
+	type srcDoc struct {
+		ext, length, part int
+		local             int32
+	}
+	var all []srcDoc
+	for pi, p := range parts {
+		for li, d := range p.docs {
+			all = append(all, srcDoc{ext: d.ext, length: d.length, part: pi, local: int32(li)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ext < all[j].ext })
+	ix := &Index{opts: opts, terms: make(map[string]int), docByExt: make(map[int]int, len(all))}
+	remap := make([][]int32, len(parts))
+	for pi, p := range parts {
+		remap[pi] = make([]int32, len(p.docs))
+	}
+	for gi, d := range all {
+		ix.docs = append(ix.docs, docEntry{ext: d.ext, length: d.length})
+		ix.docByExt[d.ext] = gi
+		ix.totalLen += int64(d.length)
+		remap[d.part][d.local] = int32(gi)
+	}
+	return ix, remap
+}
+
+func checkDuplicates(docs []Doc) error {
+	seen := make(map[int]bool, len(docs))
+	for _, d := range docs {
+		if seen[d.Ext] {
+			return fmt.Errorf("index: duplicate document %d", d.Ext)
+		}
+		seen[d.Ext] = true
+	}
+	return nil
+}
+
+func stringHash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,376 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Dynamic is an online-maintained index for collections whose updates
+// are too frequent for rebuild-from-scratch — the paper's news/blogs
+// case (§4, Communication): "there is usually some kind of online index
+// maintenance strategy. This dynamic index structure constrains the
+// capacity and the response time of the system since the update
+// operation usually requires locking the index."
+//
+// Structure: newly added documents accumulate in an in-memory buffer
+// that is searchable by scan; when the buffer fills it is flushed to an
+// immutable segment, and segments are merged geometrically (Lester,
+// Moffat & Zobel's geometric partitioning — reference [15] of the
+// paper), so there are at most O(log n) segments and each document is
+// re-merged O(log n) times.
+//
+// Readers take the read lock; flushes and merges take the write lock —
+// the "lockout effect" is therefore measurable as reader wait time, and
+// experiment C15 quantifies it.
+type Dynamic struct {
+	mu        sync.RWMutex
+	opts      Options
+	bufferCap int
+	radix     int
+
+	buffer   []Doc
+	bufByExt map[int]bool
+	segments []*Index // sorted by level; segments[i] holds ~bufferCap*radix^i docs
+	deleted  map[int]bool
+
+	// Maintenance accounting.
+	flushes    int
+	merges     int
+	mergedDocs int
+	lockHeldMs float64 // total wall time the write lock was held
+}
+
+// NewDynamic creates a dynamic index flushing every bufferCap documents
+// and merging segments with the given radix (≥2).
+func NewDynamic(opts Options, bufferCap, radix int) *Dynamic {
+	if bufferCap < 1 {
+		bufferCap = 64
+	}
+	if radix < 2 {
+		radix = 3
+	}
+	return &Dynamic{
+		opts:      opts,
+		bufferCap: bufferCap,
+		radix:     radix,
+		bufByExt:  make(map[int]bool),
+		deleted:   make(map[int]bool),
+	}
+}
+
+// Add indexes a document online. Duplicate IDs are rejected; so are
+// re-adds of a deleted document whose tombstoned copy still resides in a
+// segment (clearing the tombstone would resurrect the stale copy —
+// updates are modelled as delete + add under a fresh ID, the common
+// practice for immutable-segment indexes).
+func (d *Dynamic) Add(ext int, terms []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bufByExt[ext] {
+		return fmt.Errorf("index: document %d already present", ext)
+	}
+	if d.segmentContainsLocked(ext) {
+		if d.deleted[ext] {
+			return fmt.Errorf("index: document %d is tombstoned but still resident in a segment; re-add under a new ID", ext)
+		}
+		return fmt.Errorf("index: document %d already present", ext)
+	}
+	d.buffer = append(d.buffer, Doc{Ext: ext, Terms: terms})
+	d.bufByExt[ext] = true
+	if len(d.buffer) >= d.bufferCap {
+		d.flushLocked()
+	}
+	return nil
+}
+
+// Delete tombstones a document; it disappears from searches immediately
+// and is physically dropped at the next merge touching its segment.
+func (d *Dynamic) Delete(ext int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bufByExt[ext] {
+		for i, doc := range d.buffer {
+			if doc.Ext == ext {
+				d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
+				break
+			}
+		}
+		delete(d.bufByExt, ext)
+		return
+	}
+	if d.segmentContainsLocked(ext) {
+		d.deleted[ext] = true
+	}
+}
+
+// Flush forces the buffer into a segment (e.g. before serving a
+// freshness-critical query).
+func (d *Dynamic) Flush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flushLocked()
+}
+
+func (d *Dynamic) segmentContainsLocked(ext int) bool {
+	for _, s := range d.segments {
+		if s.InternalID(ext) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flushLocked builds a segment from the buffer and runs the geometric
+// merge cascade. Caller holds the write lock.
+func (d *Dynamic) flushLocked() {
+	if len(d.buffer) == 0 {
+		return
+	}
+	start := time.Now()
+	b := NewBuilder(d.opts)
+	for _, doc := range d.buffer {
+		b.AddDocument(doc.Ext, doc.Terms)
+	}
+	d.segments = append(d.segments, b.Build())
+	d.buffer = d.buffer[:0]
+	d.bufByExt = make(map[int]bool)
+	d.flushes++
+
+	// Geometric cascade: while the last two segments are within a radix
+	// factor, merge them (dropping tombstoned docs).
+	for len(d.segments) >= 2 {
+		a := d.segments[len(d.segments)-2]
+		c := d.segments[len(d.segments)-1]
+		if a.NumDocs() >= d.radix*c.NumDocs() {
+			break
+		}
+		merged := d.mergeSegmentsLocked(a, c)
+		d.segments = d.segments[:len(d.segments)-2]
+		d.segments = append(d.segments, merged)
+		d.merges++
+		d.mergedDocs += merged.NumDocs()
+	}
+	d.lockHeldMs += float64(time.Since(start).Microseconds()) / 1000
+}
+
+// mergeSegmentsLocked merges two segments, dropping tombstones.
+func (d *Dynamic) mergeSegmentsLocked(a, b *Index) *Index {
+	nb := NewBuilder(d.opts)
+	for _, src := range []*Index{a, b} {
+		for doc := int32(0); doc < int32(src.NumDocs()); doc++ {
+			ext := src.ExtID(doc)
+			if d.deleted[ext] {
+				delete(d.deleted, ext)
+				continue
+			}
+			nb.AddDocument(ext, reconstructTerms(src, doc))
+		}
+	}
+	return nb.Build()
+}
+
+// reconstructTerms rebuilds a document's token sequence from positional
+// postings (or an order-insensitive bag when positions are off). Merging
+// via re-indexing keeps the implementation simple and exactly correct.
+func reconstructTerms(ix *Index, doc int32) []string {
+	length := ix.DocLen(doc)
+	terms := make([]string, length)
+	filled := 0
+	for _, t := range ix.termList {
+		it := newIterator(&t.pl, ix.opts, true)
+		if !it.SkipTo(doc) || it.Posting().Doc != doc {
+			continue
+		}
+		p := it.Posting()
+		if ix.opts.StorePositions {
+			for _, pos := range p.Pos {
+				if int(pos) < length && terms[pos] == "" {
+					terms[pos] = t.term
+					filled++
+				}
+			}
+		} else {
+			for k := int32(0); k < p.TF && filled < length; k++ {
+				terms[filled] = t.term
+				filled++
+			}
+		}
+	}
+	// Positions may have holes if the doc was built without positions;
+	// compact empties.
+	if filled < length {
+		out := terms[:0]
+		for _, s := range terms {
+			if s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return terms
+}
+
+// Segments returns the current number of on-"disk" segments.
+func (d *Dynamic) Segments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.segments)
+}
+
+// NumDocs returns the number of live documents (buffer + segments −
+// tombstones).
+func (d *Dynamic) NumDocs() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := len(d.buffer)
+	for _, s := range d.segments {
+		n += s.NumDocs()
+	}
+	return n - len(d.deleted)
+}
+
+// MaintenanceStats reports flush/merge activity and total write-lock
+// hold time.
+type MaintenanceStats struct {
+	Flushes    int
+	Merges     int
+	MergedDocs int
+	LockHeldMs float64
+	Segments   int
+}
+
+// Maintenance returns the accumulated maintenance statistics.
+func (d *Dynamic) Maintenance() MaintenanceStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return MaintenanceStats{
+		Flushes:    d.flushes,
+		Merges:     d.merges,
+		MergedDocs: d.mergedDocs,
+		LockHeldMs: d.lockHeldMs,
+		Segments:   len(d.segments),
+	}
+}
+
+// SearchResult is one hit from Dynamic.Search.
+type SearchResult struct {
+	Doc   int
+	Score float64
+}
+
+// Search evaluates a disjunctive query across all segments and the
+// in-memory buffer under the read lock, using statistics aggregated over
+// the live collection, and returns the top k by BM25-like scoring.
+// (Scoring duplicates a little of internal/rank to avoid an import
+// cycle; the formulas match.)
+func (d *Dynamic) Search(terms []string, k int) []SearchResult {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	// Aggregate statistics.
+	numDocs := len(d.buffer)
+	var totalLen int64
+	df := make(map[string]int, len(terms))
+	uniq := make([]string, 0, len(terms))
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	for _, s := range d.segments {
+		numDocs += s.NumDocs()
+		totalLen += s.TotalLen()
+		for _, t := range uniq {
+			df[t] += s.DF(t)
+		}
+	}
+	for _, doc := range d.buffer {
+		totalLen += int64(len(doc.Terms))
+		for _, t := range uniq {
+			for _, w := range doc.Terms {
+				if w == t {
+					df[t]++
+					break
+				}
+			}
+		}
+	}
+	numDocs -= len(d.deleted)
+	if numDocs <= 0 {
+		return nil
+	}
+	avgLen := float64(totalLen) / float64(numDocs)
+
+	scores := make(map[int]float64)
+	addScore := func(ext int, tf int32, docLen int, idf float64) {
+		if d.deleted[ext] {
+			return
+		}
+		const k1, b = 1.2, 0.75
+		norm := 1 - b + b*float64(docLen)/maxf(avgLen, 1)
+		scores[ext] += idf * float64(tf) * (k1 + 1) / (float64(tf) + k1*norm)
+	}
+	for _, t := range uniq {
+		idf := bm25IDF(numDocs, df[t])
+		for _, s := range d.segments {
+			it := s.Postings(t)
+			if it == nil {
+				continue
+			}
+			for it.Next() {
+				p := it.Posting()
+				addScore(s.ExtID(p.Doc), p.TF, s.DocLen(p.Doc), idf)
+			}
+		}
+		for _, doc := range d.buffer {
+			tf := int32(0)
+			for _, w := range doc.Terms {
+				if w == t {
+					tf++
+				}
+			}
+			if tf > 0 {
+				addScore(doc.Ext, tf, len(doc.Terms), idf)
+			}
+		}
+	}
+
+	out := make([]SearchResult, 0, len(scores))
+	for doc, score := range scores {
+		out = append(out, SearchResult{Doc: doc, Score: score})
+	}
+	sortSearchResults(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func bm25IDF(n, df int) float64 {
+	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	if idf < 1e-6 {
+		idf = 1e-6
+	}
+	return idf
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortSearchResults(rs []SearchResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Doc < rs[j].Doc
+	})
+}

@@ -1,0 +1,195 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func dynDocs(n int) []Doc {
+	rng := rand.New(rand.NewSource(31))
+	return randomDocs(rng, n, 30)
+}
+
+func TestDynamicSearchMatchesStatic(t *testing.T) {
+	docs := dynDocs(300)
+	d := NewDynamic(DefaultOptions(), 32, 3)
+	b := NewBuilder(DefaultOptions())
+	for _, doc := range docs {
+		if err := d.Add(doc.Ext, doc.Terms); err != nil {
+			t.Fatal(err)
+		}
+		b.AddDocument(doc.Ext, doc.Terms)
+	}
+	static := b.Build()
+	if d.NumDocs() != static.NumDocs() {
+		t.Fatalf("dynamic has %d docs, static %d", d.NumDocs(), static.NumDocs())
+	}
+	// Dynamic search (segments + buffer, aggregated stats) must find the
+	// same documents as the static index for single-term queries; scores
+	// use the same BM25 so the match sets are identical.
+	for _, term := range []string{"alpha", "kappa", "omicron"} {
+		dres := d.Search([]string{term}, 1000)
+		it := static.Postings(term)
+		want := 0
+		if it != nil {
+			want = it.Count()
+		}
+		if len(dres) != want {
+			t.Fatalf("term %q: dynamic found %d docs, static has %d postings", term, len(dres), want)
+		}
+	}
+}
+
+func TestDynamicFlushAndMergeKeepSegmentsLogarithmic(t *testing.T) {
+	docs := dynDocs(500)
+	d := NewDynamic(DefaultOptions(), 16, 3)
+	for _, doc := range docs {
+		if err := d.Add(doc.Ext, doc.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Maintenance()
+	if st.Flushes == 0 || st.Merges == 0 {
+		t.Fatalf("no maintenance activity: %+v", st)
+	}
+	// Geometric invariant: segment count stays logarithmic (here: small).
+	if d.Segments() > 8 {
+		t.Fatalf("%d segments for 500 docs with radix 3; cascade not merging", d.Segments())
+	}
+}
+
+func TestDynamicDelete(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 3)
+	for i := 0; i < 20; i++ {
+		if err := d.Add(i, []string{"zz", fmt.Sprintf("unique%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(d.Search([]string{"zz"}, 100))
+	if before != 20 {
+		t.Fatalf("found %d docs before delete", before)
+	}
+	d.Delete(5)  // in a segment by now
+	d.Delete(19) // most recent: likely in buffer
+	after := d.Search([]string{"zz"}, 100)
+	if len(after) != 18 {
+		t.Fatalf("found %d docs after deleting 2", len(after))
+	}
+	for _, r := range after {
+		if r.Doc == 5 || r.Doc == 19 {
+			t.Fatalf("deleted doc %d still returned", r.Doc)
+		}
+	}
+	if d.NumDocs() != 18 {
+		t.Fatalf("NumDocs = %d, want 18", d.NumDocs())
+	}
+}
+
+func TestDynamicTombstonesCompactedOnMerge(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 2)
+	for i := 0; i < 8; i++ {
+		if err := d.Add(i, []string{"w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Delete(1)
+	// Force enough flush/merge traffic to compact the tombstone away.
+	for i := 8; i < 40; i++ {
+		if err := d.Add(i, []string{"w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	if got := len(d.Search([]string{"w"}, 100)); got != 39 {
+		t.Fatalf("found %d docs, want 39", got)
+	}
+}
+
+func TestDynamicDuplicateRejected(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 3)
+	if err := d.Add(1, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, []string{"b"}); err == nil {
+		t.Fatal("duplicate in buffer accepted")
+	}
+	d.Flush()
+	if err := d.Add(1, []string{"b"}); err == nil {
+		t.Fatal("duplicate in segment accepted")
+	}
+	d.Delete(1)
+	if err := d.Add(1, []string{"b"}); err == nil {
+		t.Fatal("re-add of tombstoned segment-resident doc accepted")
+	}
+}
+
+func TestDynamicConcurrentReadersAndWriter(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 8, 3)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// One writer streaming documents.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if err := d.Add(i, []string{"shared", fmt.Sprintf("t%d", i%50)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	// Several readers querying concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs := d.Search([]string{"shared"}, 10)
+				for i := 1; i < len(rs); i++ {
+					if rs[i-1].Score < rs[i].Score {
+						t.Error("unsorted results under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.NumDocs(); got != 400 {
+		t.Fatalf("NumDocs = %d after concurrent load, want 400", got)
+	}
+	if got := len(d.Search([]string{"shared"}, 1000)); got != 400 {
+		t.Fatalf("search finds %d docs, want 400", got)
+	}
+}
+
+func TestReconstructTermsExact(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	orig := []string{"the", "quick", "fox", "the", "end"}
+	b.AddDocument(7, orig)
+	ix := b.Build()
+	got := reconstructTerms(ix, 0)
+	if len(got) != len(orig) {
+		t.Fatalf("reconstructed %d terms, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("position %d: %q, want %q", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestDynamicEmptySearch(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 3)
+	if rs := d.Search([]string{"x"}, 10); rs != nil {
+		t.Fatalf("empty dynamic index returned %v", rs)
+	}
+}

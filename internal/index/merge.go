@@ -1,0 +1,83 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines partial indexes over disjoint document sets into one
+// index — the "distributed merge operations" of Section 4. Documents are
+// reordered by external ID so the result is independent of how documents
+// were split across the parts, and postings are remapped accordingly.
+// Merge returns an error if two parts contain the same external ID.
+func Merge(opts Options, parts ...*Index) (*Index, error) {
+	type srcDoc struct {
+		ext    int
+		length int
+		part   int
+		local  int32
+	}
+	var all []srcDoc
+	for pi, p := range parts {
+		for li, d := range p.docs {
+			all = append(all, srcDoc{ext: d.ext, length: d.length, part: pi, local: int32(li)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ext < all[j].ext })
+	for i := 1; i < len(all); i++ {
+		if all[i].ext == all[i-1].ext {
+			return nil, fmt.Errorf("index: document %d present in multiple partitions", all[i].ext)
+		}
+	}
+
+	ix := &Index{
+		opts:     opts,
+		terms:    make(map[string]int),
+		docByExt: make(map[int]int, len(all)),
+	}
+	// remap[part][local] = global internal ID
+	remap := make([][]int32, len(parts))
+	for pi, p := range parts {
+		remap[pi] = make([]int32, len(p.docs))
+	}
+	for gi, d := range all {
+		ix.docs = append(ix.docs, docEntry{ext: d.ext, length: d.length})
+		ix.docByExt[d.ext] = gi
+		ix.totalLen += int64(d.length)
+		remap[d.part][d.local] = int32(gi)
+	}
+
+	// Union lexicon.
+	termSet := make(map[string]bool)
+	for _, p := range parts {
+		for i := range p.termList {
+			termSet[p.termList[i].term] = true
+		}
+	}
+	terms := make([]string, 0, len(termSet))
+	for t := range termSet {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	for _, t := range terms {
+		var merged []Posting
+		for pi, p := range parts {
+			i, ok := p.terms[t]
+			if !ok {
+				continue
+			}
+			for _, post := range p.termList[i].pl.decodeAll(p.opts) {
+				post.Doc = remap[pi][post.Doc]
+				if !opts.StorePositions {
+					post.Pos = nil
+				}
+				merged = append(merged, post)
+			}
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
+		ix.terms[t] = len(ix.termList)
+		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(merged, opts)})
+	}
+	return ix, nil
+}

@@ -1,0 +1,321 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk index format (little-endian):
+//
+//	magic "DWRIX1\n\x00"                     8 bytes
+//	options: compress, positions (2 bytes) + skipInterval (uvarint)
+//	numDocs (uvarint), then per doc: ext (uvarint), length (uvarint)
+//	numTerms (uvarint), then per term:
+//	    len(term) (uvarint), term bytes,
+//	    count (uvarint), cf (uvarint),
+//	    len(data) (uvarint), data bytes,
+//	    numSkips (uvarint), per skip: doc (uvarint), offset (uvarint), index (uvarint)
+//	crc32 (IEEE) of everything after the magic   4 bytes
+//
+// The format exists so a deployment can build an index offline, ship the
+// file to query processors, and swap it in — the paper's "halt a part of
+// the index, substitute it and re-initiate".
+
+var persistMagic = [8]byte{'D', 'W', 'R', 'I', 'X', '1', '\n', 0}
+
+// WriteFile writes the index to path atomically (write temp + rename).
+func (ix *Index) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	if err := ix.Write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: flushing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: renaming %s: %w", tmp, err)
+	}
+	return nil
+}
+
+// ReadFile loads an index written by WriteFile.
+func ReadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+// crcWriter hashes bytes as they stream through.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// Write serializes the index to w.
+func (ix *Index) Write(w io.Writer) error {
+	if _, err := w.Write(persistMagic[:]); err != nil {
+		return fmt.Errorf("index: writing magic: %w", err)
+	}
+	cw := &crcWriter{w: w}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	putBool := func(b bool) error {
+		v := byte(0)
+		if b {
+			v = 1
+		}
+		_, err := cw.Write([]byte{v})
+		return err
+	}
+
+	if err := putBool(ix.opts.Compress); err != nil {
+		return err
+	}
+	if err := putBool(ix.opts.StorePositions); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(ix.opts.SkipInterval)); err != nil {
+		return err
+	}
+
+	if err := putUvarint(uint64(len(ix.docs))); err != nil {
+		return err
+	}
+	for _, d := range ix.docs {
+		if err := putUvarint(uint64(d.ext)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(d.length)); err != nil {
+			return err
+		}
+	}
+
+	if err := putUvarint(uint64(len(ix.termList))); err != nil {
+		return err
+	}
+	for i := range ix.termList {
+		e := &ix.termList[i]
+		if err := putUvarint(uint64(len(e.term))); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte(e.term)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.pl.count)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.pl.cf)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(e.pl.data))); err != nil {
+			return err
+		}
+		if _, err := cw.Write(e.pl.data); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(e.pl.skips))); err != nil {
+			return err
+		}
+		for _, s := range e.pl.skips {
+			if err := putUvarint(uint64(s.doc)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(s.offset)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(s.index)); err != nil {
+				return err
+			}
+		}
+	}
+	var crcBytes [4]byte
+	binary.LittleEndian.PutUint32(crcBytes[:], cw.crc)
+	if _, err := w.Write(crcBytes[:]); err != nil {
+		return fmt.Errorf("index: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// crcReader hashes bytes as they are read.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(cr.r, b[:]); err != nil {
+		return 0, err
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, b[:])
+	return b[0], nil
+}
+
+// Read deserializes an index written by Write, verifying the checksum.
+func Read(r io.Reader) (*Index, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("index: bad magic %q: not a dwr index file", magic[:])
+	}
+	cr := &crcReader{r: r}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(cr) }
+	readBool := func() (bool, error) {
+		b, err := cr.ReadByte()
+		return b != 0, err
+	}
+
+	ix := &Index{terms: make(map[string]int), docByExt: make(map[int]int)}
+	var err error
+	if ix.opts.Compress, err = readBool(); err != nil {
+		return nil, fmt.Errorf("index: reading options: %w", err)
+	}
+	if ix.opts.StorePositions, err = readBool(); err != nil {
+		return nil, fmt.Errorf("index: reading options: %w", err)
+	}
+	si, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading options: %w", err)
+	}
+	ix.opts.SkipInterval = int(si)
+
+	nDocs, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading doc count: %w", err)
+	}
+	const maxEntities = 1 << 31
+	if nDocs > maxEntities {
+		return nil, fmt.Errorf("index: implausible doc count %d", nDocs)
+	}
+	ix.docs = make([]docEntry, nDocs)
+	for i := range ix.docs {
+		ext, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading doc %d: %w", i, err)
+		}
+		length, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading doc %d: %w", i, err)
+		}
+		ix.docs[i] = docEntry{ext: int(ext), length: int(length)}
+		ix.docByExt[int(ext)] = i
+		ix.totalLen += int64(length)
+	}
+
+	nTerms, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading term count: %w", err)
+	}
+	if nTerms > maxEntities {
+		return nil, fmt.Errorf("index: implausible term count %d", nTerms)
+	}
+	ix.termList = make([]termEntry, nTerms)
+	for i := range ix.termList {
+		tl, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d: %w", i, err)
+		}
+		if tl > 1<<20 {
+			return nil, fmt.Errorf("index: implausible term length %d", tl)
+		}
+		tb := make([]byte, tl)
+		if _, err := io.ReadFull(cr, tb); err != nil {
+			return nil, fmt.Errorf("index: reading term %d: %w", i, err)
+		}
+		count, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d postings: %w", i, err)
+		}
+		cf, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d cf: %w", i, err)
+		}
+		dl, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d data: %w", i, err)
+		}
+		if dl > 1<<33 {
+			return nil, fmt.Errorf("index: implausible posting data length %d", dl)
+		}
+		data := make([]byte, dl)
+		if _, err := io.ReadFull(cr, data); err != nil {
+			return nil, fmt.Errorf("index: reading term %d data: %w", i, err)
+		}
+		nSkips, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d skips: %w", i, err)
+		}
+		if nSkips > maxEntities {
+			return nil, fmt.Errorf("index: implausible skip count %d", nSkips)
+		}
+		skips := make([]skipEntry, nSkips)
+		for s := range skips {
+			doc, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading skip: %w", err)
+			}
+			off, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading skip: %w", err)
+			}
+			idx, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading skip: %w", err)
+			}
+			skips[s] = skipEntry{doc: int32(doc), offset: int(off), index: int(idx)}
+		}
+		term := string(tb)
+		ix.terms[term] = i
+		ix.termList[i] = termEntry{term: term, pl: postingList{
+			count: int(count), cf: int64(cf), data: data, skips: skips,
+		}}
+	}
+
+	wantCRC := cr.crc
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(r, crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("index: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBytes[:]); got != wantCRC {
+		return nil, fmt.Errorf("index: checksum mismatch: file %08x, computed %08x (corrupt index)", got, wantCRC)
+	}
+	return ix, nil
+}

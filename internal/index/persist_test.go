@@ -1,0 +1,126 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	docs := randomDocs(rng, 300, 60)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{Compress: false, StorePositions: true, SkipInterval: 16},
+		{Compress: true, StorePositions: false, SkipInterval: 0},
+	} {
+		b := NewBuilder(opts)
+		for _, d := range docs {
+			b.AddDocument(d.Ext, d.Terms)
+		}
+		ix := b.Build()
+
+		path := filepath.Join(t.TempDir(), "test.idx")
+		if err := ix.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(ix, got) {
+			t.Fatalf("opts %+v: round-tripped index differs", opts)
+		}
+		if got.Options() != opts {
+			t.Fatalf("options %+v round-tripped as %+v", opts, got.Options())
+		}
+		// Skip table must survive: SkipTo still works.
+		if opts.SkipInterval > 0 {
+			term := got.Terms()[0]
+			it := got.Postings(term)
+			if it.Count() > 2 {
+				if !it.SkipTo(0) {
+					t.Fatal("SkipTo failed on loaded index")
+				}
+			}
+		}
+	}
+}
+
+func TestPersistEmptyIndex(t *testing.T) {
+	ix := NewBuilder(DefaultOptions()).Build()
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != 0 || got.NumTerms() != 0 {
+		t.Fatal("empty index round-trip not empty")
+	}
+}
+
+func TestPersistRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTANIDX........."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPersistRejectsCorruption(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	b.AddDocument(1, []string{"alpha", "beta", "alpha"})
+	b.AddDocument(2, []string{"beta", "gamma"})
+	ix := b.Build()
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit in the middle of the payload: the checksum must catch it.
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted index accepted")
+	}
+	// Truncation must also fail cleanly.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	b.AddDocument(1, []string{"x"})
+	ix := b.Build()
+	path := filepath.Join(t.TempDir(), "atomic.idx")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	// Overwrite with a different index: readers must see either version,
+	// never a partial file (atomicity via rename).
+	b2 := NewBuilder(DefaultOptions())
+	b2.AddDocument(2, []string{"y", "z"})
+	if err := b2.Build().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != 1 || got.InternalID(2) < 0 {
+		t.Fatal("overwritten index wrong")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.idx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package index implements the distributed indexing module of Section 4:
+// an inverted index (lexicon + posting lists) with positional postings,
+// delta/varint compression and skip pointers, plus the index construction
+// strategies the paper surveys — sort-based (Witten et al.), single-pass
+// with spill runs (Lester et al.), map-reduce (Dean & Ghemawat), and
+// pipelined (Melink et al.) — and index merging with document-ID
+// remapping.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Posting is one term occurrence record: the internal document ordinal,
+// the term frequency, and optionally the positions of the occurrences.
+type Posting struct {
+	Doc int32
+	TF  int32
+	Pos []int32 // nil unless positions are stored
+}
+
+// Options configures index layout.
+type Options struct {
+	StorePositions bool // keep within-document positions (phrase/proximity search)
+	Compress       bool // delta+varint encode postings (false = fixed 32-bit, for ablation)
+	SkipInterval   int  // emit a skip pointer every N postings; 0 disables skips
+}
+
+// DefaultOptions returns the production layout: compressed, positional,
+// skip pointer every 64 postings.
+func DefaultOptions() Options {
+	return Options{StorePositions: true, Compress: true, SkipInterval: 64}
+}
+
+// skipEntry lets SkipTo jump over blocks of encoded postings.
+type skipEntry struct {
+	doc    int32 // last doc ID covered before this offset
+	offset int   // byte offset of the next posting
+	index  int   // posting ordinal at offset
+}
+
+// postingList is one term's encoded postings plus skip table.
+type postingList struct {
+	count int
+	data  []byte
+	skips []skipEntry
+	cf    int64 // collection frequency: total TF over all docs
+}
+
+// encodePostings serializes postings (which must be sorted by Doc,
+// strictly increasing) according to opts.
+func encodePostings(ps []Posting, opts Options) postingList {
+	var pl postingList
+	pl.count = len(ps)
+	var prevDoc int32
+	for i, p := range ps {
+		if i > 0 && p.Doc <= prevDoc {
+			panic(fmt.Sprintf("index: postings not strictly increasing: %d after %d", p.Doc, prevDoc))
+		}
+		if opts.SkipInterval > 0 && i > 0 && i%opts.SkipInterval == 0 {
+			pl.skips = append(pl.skips, skipEntry{doc: prevDoc, offset: len(pl.data), index: i})
+		}
+		if opts.Compress {
+			pl.data = appendUvarint(pl.data, uint64(p.Doc-prevDoc))
+			pl.data = appendUvarint(pl.data, uint64(p.TF))
+			if opts.StorePositions {
+				pl.data = appendUvarint(pl.data, uint64(len(p.Pos)))
+				var prevPos int32
+				for _, pos := range p.Pos {
+					pl.data = appendUvarint(pl.data, uint64(pos-prevPos))
+					prevPos = pos
+				}
+			}
+		} else {
+			pl.data = appendFixed32(pl.data, uint32(p.Doc))
+			pl.data = appendFixed32(pl.data, uint32(p.TF))
+			if opts.StorePositions {
+				pl.data = appendFixed32(pl.data, uint32(len(p.Pos)))
+				for _, pos := range p.Pos {
+					pl.data = appendFixed32(pl.data, uint32(pos))
+				}
+			}
+		}
+		pl.cf += int64(p.TF)
+		prevDoc = p.Doc
+	}
+	return pl
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendFixed32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// Iterator walks a posting list in document order. Use Next to advance
+// one posting and SkipTo to jump forward using the skip table.
+type Iterator struct {
+	pl      *postingList
+	opts    Options
+	pos     int // byte position in data
+	i       int // posting ordinal about to be decoded
+	prevDoc int32
+	cur     Posting
+	valid   bool
+	// withPos controls whether decoded positions are materialized.
+	withPos bool
+}
+
+// newIterator starts an iterator over pl.
+func newIterator(pl *postingList, opts Options, withPos bool) *Iterator {
+	return &Iterator{pl: pl, opts: opts, withPos: withPos && opts.StorePositions}
+}
+
+// Next advances to the next posting; it returns false at the end.
+func (it *Iterator) Next() bool {
+	if it.i >= it.pl.count {
+		it.valid = false
+		return false
+	}
+	it.decodeOne()
+	return true
+}
+
+// Posting returns the current posting. Valid only after Next or SkipTo
+// returned true.
+func (it *Iterator) Posting() Posting { return it.cur }
+
+// Count returns the total number of postings in the underlying list.
+func (it *Iterator) Count() int { return it.pl.count }
+
+// SkipTo advances to the first posting with Doc >= target, using skip
+// pointers to avoid decoding intervening postings. It returns false if
+// no such posting exists.
+func (it *Iterator) SkipTo(target int32) bool {
+	if it.valid && it.cur.Doc >= target {
+		return true
+	}
+	// Jump via the skip table: find the last skip entry not past target
+	// that is also ahead of the current decode position.
+	for s := len(it.pl.skips) - 1; s >= 0; s-- {
+		e := it.pl.skips[s]
+		if e.doc < target && e.index > it.i {
+			it.pos = e.offset
+			it.i = e.index
+			it.prevDoc = e.doc
+			break
+		}
+	}
+	for it.Next() {
+		if it.cur.Doc >= target {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *Iterator) decodeOne() {
+	data := it.pl.data
+	if it.opts.Compress {
+		delta, n := binary.Uvarint(data[it.pos:])
+		it.pos += n
+		doc := it.prevDoc + int32(delta)
+		tf, n := binary.Uvarint(data[it.pos:])
+		it.pos += n
+		var poss []int32
+		if it.opts.StorePositions {
+			np, n := binary.Uvarint(data[it.pos:])
+			it.pos += n
+			if it.withPos {
+				poss = make([]int32, np)
+			}
+			var prev int32
+			for k := uint64(0); k < np; k++ {
+				d, n := binary.Uvarint(data[it.pos:])
+				it.pos += n
+				prev += int32(d)
+				if it.withPos {
+					poss[k] = prev
+				}
+			}
+		}
+		it.cur = Posting{Doc: doc, TF: int32(tf), Pos: poss}
+		it.prevDoc = doc
+	} else {
+		doc := int32(binary.LittleEndian.Uint32(data[it.pos:]))
+		it.pos += 4
+		tf := int32(binary.LittleEndian.Uint32(data[it.pos:]))
+		it.pos += 4
+		var poss []int32
+		if it.opts.StorePositions {
+			np := int(binary.LittleEndian.Uint32(data[it.pos:]))
+			it.pos += 4
+			if it.withPos {
+				poss = make([]int32, np)
+				for k := 0; k < np; k++ {
+					poss[k] = int32(binary.LittleEndian.Uint32(data[it.pos:]))
+					it.pos += 4
+				}
+			} else {
+				it.pos += 4 * np
+			}
+		}
+		it.cur = Posting{Doc: doc, TF: tf, Pos: poss}
+		it.prevDoc = doc
+	}
+	it.i++
+	it.valid = true
+}
+
+// decodeAll materializes a posting list; used by merging.
+func (pl *postingList) decodeAll(opts Options) []Posting {
+	out := make([]Posting, 0, pl.count)
+	it := newIterator(pl, opts, true)
+	for it.Next() {
+		out = append(out, it.Posting())
+	}
+	return out
+}

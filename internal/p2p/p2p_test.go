@@ -1,0 +1,147 @@
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("peer-%04d", i)
+	}
+	return out
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	o := New(names(100))
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("term%d", i)
+		owner := o.OwnerOf(key)
+		got, hops := o.Route(i%o.Size(), key)
+		if got != owner {
+			t.Fatalf("key %q routed to peer %d, owner is %d", key, got, owner)
+		}
+		if hops < 0 || hops > o.Size() {
+			t.Fatalf("key %q took %d hops", key, hops)
+		}
+	}
+}
+
+func TestRouteFromOwnerIsZeroHops(t *testing.T) {
+	o := New(names(50))
+	key := "somekey"
+	owner := o.OwnerOf(key)
+	if _, hops := o.Route(owner, key); hops != 0 {
+		t.Fatalf("routing from the owner took %d hops", hops)
+	}
+}
+
+func TestRouteLogarithmicHops(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		o := New(names(n))
+		total := 0
+		const lookups = 500
+		for i := 0; i < lookups; i++ {
+			_, hops := o.Route(i%n, fmt.Sprintf("key%d", i))
+			total += hops
+		}
+		mean := float64(total) / lookups
+		limit := 2 * math.Log2(float64(n))
+		if mean > limit {
+			t.Fatalf("n=%d: mean hops %.1f exceeds 2·log2(n)=%.1f", n, mean, limit)
+		}
+		if mean < 1 {
+			t.Fatalf("n=%d: mean hops %.2f implausibly low", n, mean)
+		}
+	}
+}
+
+func TestJoinLeaveOwnership(t *testing.T) {
+	o := New(names(30))
+	keys := make([]string, 500)
+	before := make([]int, len(keys))
+	beforeNames := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		before[i] = o.OwnerOf(keys[i])
+		beforeNames[i] = o.Peers()[before[i]]
+	}
+	o.Join("newcomer")
+	moved := 0
+	for i, k := range keys {
+		ownerName := o.Peers()[o.OwnerOf(k)]
+		if ownerName != beforeNames[i] {
+			moved++
+			if ownerName != "newcomer" {
+				t.Fatalf("key %q moved to %q, not the joining peer", k, ownerName)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys at all (possible, but suspicious for 500 keys over 30 peers)")
+	}
+	if frac := float64(moved) / float64(len(keys)); frac > 0.25 {
+		t.Fatalf("join moved %.0f%% of keys; should be ≈1/31", frac*100)
+	}
+	// Leaving restores the original ownership exactly.
+	o.Leave("newcomer")
+	for i, k := range keys {
+		if got := o.Peers()[o.OwnerOf(k)]; got != beforeNames[i] {
+			t.Fatalf("after leave, key %q owned by %q, want %q", k, got, beforeNames[i])
+		}
+	}
+}
+
+func TestRoutingAfterChurn(t *testing.T) {
+	o := New(names(60))
+	o.Leave("peer-0010")
+	o.Leave("peer-0030")
+	o.Join("late-a")
+	o.Join("late-b")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("churnkey%d", i)
+		owner := o.OwnerOf(key)
+		if got, _ := o.Route(i%o.Size(), key); got != owner {
+			t.Fatalf("post-churn routing wrong for %q", key)
+		}
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	m := CapacityModel{ServeQPS: 100, DemandQPS: 5}
+	// Client/server: 16 servers support 320 clients, independent of n.
+	if got := m.ClientServerSupportable(16); got != 320 {
+		t.Fatalf("client/server supportable = %v, want 320", got)
+	}
+	// P2P: utilization is constant in n and < 1 without free-riding.
+	u100 := m.P2PUtilization(100, 0)
+	u10000 := m.P2PUtilization(10000, 0)
+	if math.Abs(u100-u10000) > 1e-12 {
+		t.Fatalf("P2P utilization varies with n: %v vs %v", u100, u10000)
+	}
+	if u100 >= 1 {
+		t.Fatalf("P2P utilization %v ≥ 1 without free-riding", u100)
+	}
+	// Free-riding degrades capacity; past 1 - demand/serve it diverges.
+	if m.P2PUtilization(100, 0.5) <= u100 {
+		t.Fatal("free-riding did not raise utilization")
+	}
+	if u := m.P2PUtilization(100, 0.99); u < 1 {
+		t.Fatalf("99%% free-riding still sustainable (%v); model broken", u)
+	}
+	if u := m.P2PUtilization(100, 1); u != -1 {
+		t.Fatalf("total free-riding should report no capacity, got %v", u)
+	}
+}
+
+func TestEmptyOverlay(t *testing.T) {
+	o := New(nil)
+	if o.OwnerOf("x") != -1 {
+		t.Fatal("empty overlay returned an owner")
+	}
+	if owner, hops := o.Route(0, "x"); owner != -1 || hops != 0 {
+		t.Fatal("empty overlay routed")
+	}
+}

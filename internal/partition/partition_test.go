@@ -1,0 +1,257 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dwr/internal/metrics"
+)
+
+func docIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * 2
+	}
+	return out
+}
+
+func TestRandomDocsCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dp := RandomDocs(rng, docIDs(1000), 4)
+	if len(dp.Assign) != 1000 {
+		t.Fatalf("assigned %d docs, want 1000", len(dp.Assign))
+	}
+	total := 0
+	for _, s := range dp.Sizes() {
+		if s == 0 {
+			t.Fatal("empty partition from 1000 random docs over 4 parts")
+		}
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("sizes sum %d", total)
+	}
+}
+
+func TestRoundRobinBalanced(t *testing.T) {
+	dp := RoundRobinDocs(docIDs(103), 4)
+	sizes := dp.Sizes()
+	for _, s := range sizes {
+		if s < 25 || s > 26 {
+			t.Fatalf("round robin sizes %v not balanced", sizes)
+		}
+	}
+}
+
+// topicalVecs builds vectors with k clear topic clusters.
+func topicalVecs(rng *rand.Rand, n, topics int) []DocVector {
+	vecs := make([]DocVector, n)
+	for i := range vecs {
+		topic := i % topics
+		tf := make(map[int]float64)
+		// Topic band terms [topic*100, topic*100+20), plus noise.
+		for j := 0; j < 10; j++ {
+			tf[topic*100+rng.Intn(20)] += 3
+		}
+		for j := 0; j < 3; j++ {
+			tf[1000+rng.Intn(50)] += 1
+		}
+		vecs[i] = DocVector{Ext: i, TF: tf}
+	}
+	return vecs
+}
+
+func TestKMeansRecoversTopics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := topicalVecs(rng, 400, 4)
+	dp := KMeansDocs(rng, vecs, 4, 20)
+	// Compute cluster purity: each cluster's majority topic share.
+	pure, total := 0, 0
+	for _, docs := range dp.Parts {
+		if len(docs) == 0 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, d := range docs {
+			counts[d%4]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		pure += best
+		total += len(docs)
+	}
+	if purity := float64(pure) / float64(total); purity < 0.8 {
+		t.Fatalf("k-means purity %.2f, want ≥ 0.8 on clearly topical data", purity)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if dp := KMeansDocs(rng, nil, 3, 5); len(dp.Assign) != 0 {
+		t.Fatal("empty input produced assignments")
+	}
+	// k >= n: every doc still assigned.
+	vecs := topicalVecs(rng, 3, 2)
+	dp := KMeansDocs(rng, vecs, 5, 5)
+	if len(dp.Assign) != 3 {
+		t.Fatalf("k>n assigned %d docs", len(dp.Assign))
+	}
+}
+
+func TestCoClusterDocsPartitionsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	all := docIDs(500)
+	var train []QueryDocs
+	for q := 0; q < 80; q++ {
+		topic := q % 4
+		docs := []int{}
+		for j := 0; j < 10; j++ {
+			// Queries of topic T recall docs where (d/2)%4 == T.
+			d := (topic + 4*rng.Intn(100)) % 500
+			docs = append(docs, all[d])
+		}
+		train = append(train, QueryDocs{Key: fmt.Sprintf("q%d", q), Docs: docs})
+	}
+	res := CoClusterDocs(rng, train, all, 4, 15)
+	if len(res.Partition.Assign) != len(all) {
+		t.Fatalf("assigned %d of %d docs", len(res.Partition.Assign), len(all))
+	}
+	if len(res.NeverRecalled) == 0 {
+		t.Fatal("expected some never-recalled documents")
+	}
+	for key, dist := range res.QueryPart {
+		sum := 0.0
+		for _, v := range dist {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("query %s distribution sums to %v", key, sum)
+		}
+	}
+}
+
+func TestCoClusterConcentratesQueries(t *testing.T) {
+	// Queries with strongly clustered results should map mostly to one
+	// partition each.
+	rng := rand.New(rand.NewSource(5))
+	all := docIDs(400)
+	var train []QueryDocs
+	for q := 0; q < 60; q++ {
+		topic := q % 4
+		var docs []int
+		for j := 0; j < 8; j++ {
+			docs = append(docs, all[(topic*100+rng.Intn(100))%400])
+		}
+		train = append(train, QueryDocs{Key: fmt.Sprintf("q%d", q), Docs: docs})
+	}
+	res := CoClusterDocs(rng, train, all, 4, 20)
+	concentrated := 0
+	for _, dist := range res.QueryPart {
+		max := 0.0
+		for _, v := range dist {
+			if v > max {
+				max = v
+			}
+		}
+		if max >= 0.5 {
+			concentrated++
+		}
+	}
+	if frac := float64(concentrated) / float64(len(res.QueryPart)); frac < 0.7 {
+		t.Fatalf("only %.2f of queries concentrate in one partition", frac)
+	}
+}
+
+func TestBinPackingBalances(t *testing.T) {
+	// Heavy-tailed weights: bin-packing must balance far better than the
+	// skew of the weights themselves.
+	terms := make([]string, 500)
+	w := make(map[string]float64, len(terms))
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%03d", i)
+		w[terms[i]] = 1.0 / float64(i+8) * 1000 // Zipf-ish, capped head
+	}
+	weight := func(t string) float64 { return w[t] }
+	tp := BinPackTerms(terms, weight, 8)
+	im := metrics.NewImbalance(tp.Loads(weight))
+	if im.MaxOver > 1.05 {
+		t.Fatalf("bin-packed MaxOver = %.3f, want ≤ 1.05", im.MaxOver)
+	}
+	rng := rand.New(rand.NewSource(6))
+	rtp := RandomTerms(rng, terms, 8)
+	rim := metrics.NewImbalance(rtp.Loads(weight))
+	if im.CV >= rim.CV {
+		t.Fatalf("bin-packing CV %.3f not better than random CV %.3f", im.CV, rim.CV)
+	}
+}
+
+func TestRandomTermsAssignsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	terms := []string{"a", "b", "c", "d", "e"}
+	tp := RandomTerms(rng, terms, 3)
+	for _, term := range terms {
+		p, ok := tp.Assign[term]
+		if !ok || p < 0 || p >= 3 {
+			t.Fatalf("term %q assigned to %d (ok=%v)", term, p, ok)
+		}
+	}
+}
+
+func TestCoOccurReducesPartsPerQuery(t *testing.T) {
+	// Build queries with strong pair structure: terms 2i and 2i+1 always
+	// co-occur. Co-occurrence-aware placement should contact fewer
+	// partitions per query than plain bin-packing.
+	nPairs := 200
+	var terms []string
+	w := map[string]float64{}
+	co := map[[2]string]int{}
+	var queries [][]string
+	for i := 0; i < nPairs; i++ {
+		a, b := fmt.Sprintf("a%03d", i), fmt.Sprintf("b%03d", i)
+		terms = append(terms, a, b)
+		// Distinct weights per term so plain bin-packing (which sorts by
+		// weight) scatters the pairs across bins.
+		w[a], w[b] = 10+float64(i%13), 5+float64(i%7)
+		pair := [2]string{a, b}
+		if a > b {
+			pair = [2]string{b, a}
+		}
+		co[pair] = 50
+		for r := 0; r < 5; r++ {
+			queries = append(queries, []string{a, b})
+		}
+	}
+	weight := func(t string) float64 { return w[t] }
+	bp := BinPackTerms(terms, weight, 8)
+	cp := CoOccurTerms(terms, weight, co, 8, 0.25)
+
+	bpAvg := bp.AvgPartsPerQuery(queries)
+	cpAvg := cp.AvgPartsPerQuery(queries)
+	if cpAvg >= bpAvg {
+		t.Fatalf("co-occurrence-aware avg parts %.2f not below bin-packing %.2f", cpAvg, bpAvg)
+	}
+	if cpAvg > 1.2 {
+		t.Fatalf("co-occurrence-aware avg parts %.2f, want ≈1 on pure pair queries", cpAvg)
+	}
+	// And its load must remain roughly balanced.
+	im := metrics.NewImbalance(cp.Loads(weight))
+	if im.MaxOver > 1.3 {
+		t.Fatalf("co-occurrence partition MaxOver %.2f exceeds slack", im.MaxOver)
+	}
+}
+
+func TestPartsOf(t *testing.T) {
+	tp := TermPartition{K: 3, Assign: map[string]int{"a": 0, "b": 1, "c": 0}}
+	got := tp.PartsOf([]string{"a", "b", "c", "unknown"})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("PartsOf = %v, want [0 1]", got)
+	}
+	if tp.AvgPartsPerQuery(nil) != 0 {
+		t.Fatal("empty query stream should average 0")
+	}
+}

@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TermPartition maps terms to partitions (vertical slicing of the T×D
+// matrix, Figure 1 right).
+type TermPartition struct {
+	K      int
+	Assign map[string]int
+}
+
+// PartsOf returns the set of partitions a query's terms touch — the
+// "number of contacted servers" a term-partitioned system wants to
+// minimize.
+func (tp *TermPartition) PartsOf(terms []string) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, t := range terms {
+		if p, ok := tp.Assign[t]; ok && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Loads returns the total weight per partition under the given term
+// weight function.
+func (tp *TermPartition) Loads(weight func(string) float64) []float64 {
+	out := make([]float64, tp.K)
+	for t, p := range tp.Assign {
+		out[p] += weight(t)
+	}
+	return out
+}
+
+// RandomTerms assigns each term to a uniformly random partition.
+func RandomTerms(rng *rand.Rand, terms []string, k int) TermPartition {
+	tp := TermPartition{K: k, Assign: make(map[string]int, len(terms))}
+	for _, t := range terms {
+		tp.Assign[t] = rng.Intn(k)
+	}
+	return tp
+}
+
+// BinPackTerms implements Moffat et al.'s load-balanced term
+// partitioning: terms are objects with weight proportional to their
+// query-log frequency times posting-list length, packed into k bins by
+// longest-processing-time greedy (heaviest term to the lightest bin).
+func BinPackTerms(terms []string, weight func(string) float64, k int) TermPartition {
+	tp := TermPartition{K: k, Assign: make(map[string]int, len(terms))}
+	order := append([]string(nil), terms...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weight(order[i]), weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	loads := make([]float64, k)
+	for _, t := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		tp.Assign[t] = best
+		loads[best] += weight(t)
+	}
+	return tp
+}
+
+// CoOccurTerms implements the co-occurrence-aware refinement of Lucchese
+// et al.: like bin-packing, but among the under-loaded bins the one with
+// the highest query co-occurrence affinity to the candidate term wins,
+// so terms that appear together in queries land on the same server and
+// fewer servers participate per query. slack bounds how far above the
+// ideal average a bin may grow (e.g. 0.2 = 20%).
+func CoOccurTerms(terms []string, weight func(string) float64, co map[[2]string]int, k int, slack float64) TermPartition {
+	tp := TermPartition{K: k, Assign: make(map[string]int, len(terms))}
+	order := append([]string(nil), terms...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weight(order[i]), weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	var totalW float64
+	for _, t := range order {
+		totalW += weight(t)
+	}
+	cap := totalW / float64(k) * (1 + slack)
+
+	// Affinity adjacency: term -> co-occurring term -> count.
+	adj := make(map[string]map[string]int)
+	for pair, c := range co {
+		a, b := pair[0], pair[1]
+		if adj[a] == nil {
+			adj[a] = make(map[string]int)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[string]int)
+		}
+		adj[a][b] += c
+		adj[b][a] += c
+	}
+
+	loads := make([]float64, k)
+	for _, t := range order {
+		w := weight(t)
+		// Affinity of t to each bin via already-placed co-occurring terms.
+		aff := make([]float64, k)
+		for other, c := range adj[t] {
+			if p, ok := tp.Assign[other]; ok {
+				aff[p] += float64(c)
+			}
+		}
+		best, bestScore := -1, -1.0
+		lightest, lightLoad := 0, loads[0]
+		for p := 0; p < k; p++ {
+			if loads[p] < lightLoad {
+				lightest, lightLoad = p, loads[p]
+			}
+			if loads[p]+w > cap {
+				continue
+			}
+			score := aff[p]
+			if best == -1 || score > bestScore || (score == bestScore && loads[p] < loads[best]) {
+				best, bestScore = p, score
+			}
+		}
+		if best == -1 {
+			best = lightest // every bin over cap: fall back to lightest
+		}
+		tp.Assign[t] = best
+		loads[best] += w
+	}
+	return tp
+}
+
+// AvgPartsPerQuery measures, over a stream of queries (term slices), the
+// mean number of partitions contacted — the efficiency objective of
+// co-occurrence-aware term partitioning.
+func (tp *TermPartition) AvgPartsPerQuery(queries [][]string) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range queries {
+		total += len(tp.PartsOf(q))
+	}
+	return float64(total) / float64(len(queries))
+}

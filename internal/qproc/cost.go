@@ -1,0 +1,61 @@
+// Package qproc implements the distributed query processing module of
+// Section 5: document-partitioned scatter-gather with a broker, the
+// two-round global-statistics protocol, pipelined term-partitioned
+// evaluation, collection selection, broker hierarchies, result caching
+// with failure masking, multi-site routing (geographic, load-aware,
+// topical, language), and incremental query processing.
+//
+// All engines run on virtual time and account per-server busy load, so
+// the Figure 2 comparison and the Webber-style resource measurements
+// (experiment C6) fall out of instrumented query replay.
+package qproc
+
+import "dwr/internal/rank"
+
+// CostModel converts index work into virtual service milliseconds.
+// It is deliberately simple — a fixed per-query overhead plus a
+// per-posting decode cost — because the load-balance phenomena of
+// Figure 2 come from which server does the decoding, not from the
+// absolute constants.
+type CostModel struct {
+	FixedMs          float64 // per query-fragment overhead on a server
+	PerPostingMs     float64
+	PerAccumulatorMs float64 // per travelling-accumulator entry a pipeline server touches
+}
+
+// DefaultCostModel returns 0.1 ms fixed + 2 µs per posting + 1 µs per
+// accumulator entry.
+func DefaultCostModel() CostModel {
+	return CostModel{FixedMs: 0.1, PerPostingMs: 0.002, PerAccumulatorMs: 0.001}
+}
+
+// ServiceMs returns the service time for decoding n postings.
+func (c CostModel) ServiceMs(postings int) float64 {
+	return c.FixedMs + float64(postings)*c.PerPostingMs
+}
+
+// AccumulatorMs returns the cost of receiving, merging, and forwarding a
+// travelling accumulator of n entries — the per-hop CPU overhead that
+// makes pipelined term-partitioned systems lose the throughput race even
+// when their load is balanced (Webber et al.).
+func (c CostModel) AccumulatorMs(n int) float64 {
+	return float64(n) * c.PerAccumulatorMs
+}
+
+// QueryResult is the outcome of one distributed query evaluation.
+type QueryResult struct {
+	Results          []rank.Result
+	LatencyMs        float64
+	ServersContacted int
+	Rounds           int   // network round trips the broker needed
+	PostingsDecoded  int   // postings touched across all servers
+	ListsAccessed    int   // posting-list fetches (disk accesses) across all servers
+	PostingBytesRead int64 // encoded posting bytes accessed (disk cost)
+	BytesTransferred int64 // result/accumulator bytes moved between servers
+	FromCache        bool
+	Stale            bool // answered from cache beyond its freshness TTL
+	Degraded         bool // some selected servers were down; partial answer
+}
+
+// resultBytes estimates the wire size of a result list (doc ID + score).
+func resultBytes(n int) int64 { return int64(n) * 12 }

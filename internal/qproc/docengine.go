@@ -1,0 +1,228 @@
+package qproc
+
+import (
+	"fmt"
+
+	"dwr/internal/index"
+	"dwr/internal/partition"
+	"dwr/internal/rank"
+	"dwr/internal/selection"
+)
+
+// DocEngine is a document-partitioned query processing cluster: K query
+// processors each hold an inverted index over a sub-collection, and a
+// broker scatters queries, optionally after collection selection, then
+// merges the per-partition top-k lists.
+type DocEngine struct {
+	cost  CostModel
+	lanMs float64
+	parts []*index.Index
+	// global statistics of the whole collection, available when the
+	// broker runs the two-round protocol or precomputes them offline.
+	global    index.Stats
+	busyMs    []float64
+	downs     []bool
+	queries   int
+	partition partition.DocPartition
+}
+
+// NewDocEngine builds per-partition indexes from docs according to the
+// document partition. Documents not present in the partition assignment
+// are dropped.
+func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartition) (*DocEngine, error) {
+	builders := make([]*index.Builder, dp.K)
+	for i := range builders {
+		builders[i] = index.NewBuilder(opts)
+	}
+	for _, d := range docs {
+		p, ok := dp.Assign[d.Ext]
+		if !ok {
+			continue
+		}
+		builders[p].AddDocument(d.Ext, d.Terms)
+	}
+	e := &DocEngine{
+		cost:      DefaultCostModel(),
+		lanMs:     0.3,
+		busyMs:    make([]float64, dp.K),
+		downs:     make([]bool, dp.K),
+		partition: dp,
+	}
+	var stats []index.Stats
+	for _, b := range builders {
+		ix := b.Build()
+		e.parts = append(e.parts, ix)
+		stats = append(stats, ix.LocalStats(nil))
+	}
+	e.global = index.MergeStats(stats...)
+	if e.global.NumDocs == 0 {
+		return nil, fmt.Errorf("qproc: document partition covers no documents")
+	}
+	return e, nil
+}
+
+// K returns the number of partitions.
+func (e *DocEngine) K() int { return len(e.parts) }
+
+// Partition returns the underlying document partition.
+func (e *DocEngine) Partition() partition.DocPartition { return e.partition }
+
+// PartIndex exposes partition p's index (for stats and selection setup).
+func (e *DocEngine) PartIndex(p int) *index.Index { return e.parts[p] }
+
+// GlobalStats returns the precomputed whole-collection statistics.
+func (e *DocEngine) GlobalStats() index.Stats { return e.global }
+
+// SetDown marks a query processor as failed (true) or recovered (false);
+// the broker skips failed processors and flags the answer Degraded — the
+// paper's "the system might still be able to answer queries without
+// using all the sub-collections".
+func (e *DocEngine) SetDown(p int, down bool) { e.downs[p] = down }
+
+// BusyMs returns accumulated per-processor busy time — the Figure 2
+// measurement.
+func (e *DocEngine) BusyMs() []float64 {
+	return append([]float64(nil), e.busyMs...)
+}
+
+// ResetBusy clears the busy-load accounting.
+func (e *DocEngine) ResetBusy() {
+	for i := range e.busyMs {
+		e.busyMs[i] = 0
+	}
+	e.queries = 0
+}
+
+// StatsMode selects which statistics drive scoring (experiment C9).
+type StatsMode int
+
+// Statistics modes.
+const (
+	// GlobalTwoRound runs the paper's two-round protocol: round one
+	// collects per-partition statistics for the query terms, round two
+	// evaluates with the merged global statistics piggybacked on the
+	// query. Rankings equal a centralized evaluation.
+	GlobalTwoRound StatsMode = iota
+	// GlobalPrecomputed uses engine-wide statistics computed at indexing
+	// time (one round, exact, but stale under index updates).
+	GlobalPrecomputed
+	// LocalOnly scores each partition with its own statistics (one
+	// round, no stats traffic, rankings may diverge from centralized).
+	LocalOnly
+)
+
+// DocQueryOptions configures one query evaluation.
+type DocQueryOptions struct {
+	K           int
+	Stats       StatsMode
+	Selector    selection.Selector // nil = contact every partition
+	SelectN     int                // partitions to contact when Selector is set
+	Conjunctive bool
+}
+
+// Query evaluates terms and returns the merged top-k with full resource
+// accounting.
+func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	e.queries++
+	var qr QueryResult
+
+	// Choose target partitions.
+	targets := make([]int, 0, len(e.parts))
+	if opt.Selector != nil && opt.SelectN > 0 {
+		ranked := opt.Selector.Rank(terms)
+		n := opt.SelectN
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		targets = append(targets, ranked[:n]...)
+	} else {
+		for p := range e.parts {
+			targets = append(targets, p)
+		}
+	}
+	live := targets[:0]
+	for _, p := range targets {
+		if e.downs[p] {
+			qr.Degraded = true
+			continue
+		}
+		live = append(live, p)
+	}
+	targets = live
+	qr.ServersContacted = len(targets)
+	if len(targets) == 0 {
+		return qr
+	}
+
+	// Round 1 (two-round protocol only): gather local stats per term.
+	var scorers []*rank.Scorer
+	var round1Max float64
+	switch opt.Stats {
+	case GlobalTwoRound:
+		qr.Rounds = 2
+		var parts []index.Stats
+		for _, p := range targets {
+			parts = append(parts, e.parts[p].LocalStats(terms))
+			// Stats messages are tiny; the round still costs a LAN RTT.
+			qr.BytesTransferred += int64(16 * len(terms))
+		}
+		// Collection-wide doc count and lengths come from every
+		// partition regardless of term presence.
+		merged := index.MergeStats(parts...)
+		// NumDocs/TotalLen must cover the full engine, not just the
+		// contacted partitions' term stats: recompute from all parts.
+		merged.NumDocs = 0
+		merged.TotalLen = 0
+		for _, ix := range e.parts {
+			merged.NumDocs += ix.NumDocs()
+			merged.TotalLen += ix.TotalLen()
+		}
+		s := rank.NewScorer(rank.FromGlobal(merged))
+		for range targets {
+			scorers = append(scorers, s)
+		}
+		round1Max = e.lanMs
+	case GlobalPrecomputed:
+		qr.Rounds = 1
+		s := rank.NewScorer(rank.FromGlobal(e.global))
+		for range targets {
+			scorers = append(scorers, s)
+		}
+	default: // LocalOnly
+		qr.Rounds = 1
+		for _, p := range targets {
+			scorers = append(scorers, rank.NewScorer(rank.FromIndex(e.parts[p])))
+		}
+	}
+
+	// Round 2: evaluate on each partition; the broker waits for the
+	// slowest (the paper: "the response time ... depends on the response
+	// time of its slowest component").
+	var lists [][]rank.Result
+	var slowest float64
+	for i, p := range targets {
+		var rs []rank.Result
+		var es rank.EvalStats
+		if opt.Conjunctive {
+			rs, es = rank.EvaluateAND(e.parts[p], scorers[i], terms, opt.K)
+		} else {
+			rs, es = rank.EvaluateOR(e.parts[p], scorers[i], terms, opt.K)
+		}
+		service := e.cost.ServiceMs(es.PostingsDecoded)
+		e.busyMs[p] += service
+		if t := e.lanMs + service; t > slowest {
+			slowest = t
+		}
+		qr.PostingsDecoded += es.PostingsDecoded
+		qr.ListsAccessed += es.ListsAccessed
+		qr.PostingBytesRead += es.BytesRead
+		qr.BytesTransferred += resultBytes(len(rs))
+		lists = append(lists, rs)
+	}
+	qr.Results = rank.MergeResults(opt.K, lists...)
+	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval + reply
+	return qr
+}

@@ -1,0 +1,55 @@
+package qproc
+
+import "dwr/internal/rank"
+
+// MergeTree merges per-partition top-k lists through a hierarchy of
+// coordinators with the given fanout — Section 5's remedy when "the
+// coordinator may become a bottleneck while merging the results from a
+// great number of query processors". The result equals a flat merge
+// (top-k merging is associative); the second return value is the
+// largest number of result items any single coordinator had to merge,
+// the bottleneck measure a hierarchy reduces from Σ|lists| to ≈fanout·k.
+func MergeTree(k, fanout int, lists [][]rank.Result) ([]rank.Result, int) {
+	if fanout < 2 {
+		fanout = 2
+	}
+	maxMerged := 0
+	level := lists
+	for len(level) > 1 {
+		var next [][]rank.Result
+		for i := 0; i < len(level); i += fanout {
+			j := i + fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			group := level[i:j]
+			items := 0
+			for _, l := range group {
+				items += len(l)
+			}
+			if items > maxMerged {
+				maxMerged = items
+			}
+			next = append(next, rank.MergeResults(k, group...))
+		}
+		level = next
+	}
+	if len(level) == 0 {
+		return nil, 0
+	}
+	if len(lists) == 1 {
+		maxMerged = len(lists[0])
+		return rank.MergeResults(k, lists[0]), maxMerged
+	}
+	return level[0], maxMerged
+}
+
+// FlatMergeCost returns the number of items a single flat coordinator
+// merges for the given lists.
+func FlatMergeCost(lists [][]rank.Result) int {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	return n
+}

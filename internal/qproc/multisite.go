@@ -1,0 +1,307 @@
+package qproc
+
+import (
+	"math"
+
+	"dwr/internal/cache"
+	"dwr/internal/cluster"
+	"dwr/internal/rank"
+)
+
+// Site is one geographic installation (Figure 3): a coordinator, a
+// result cache, and a full query-processing replica, subject to the
+// outage process of its cluster.Site.
+type Site struct {
+	ID      int
+	Region  int
+	Engine  *DocEngine
+	Cache   cache.Cache[[]rank.Result]
+	Outages []cluster.Outage // hours; empty = always up
+
+	// Selfish marks a site in an OPEN system (paper §5, Interaction):
+	// it serves queries forwarded by other sites' coordinators at lower
+	// priority, adding ForeignPenaltyMs of queueing. Federated systems
+	// leave this false everywhere.
+	Selfish          bool
+	ForeignPenaltyMs float64
+
+	// hourLoad tracks queries executed in the current wall-clock hour,
+	// the signal load-aware routing uses.
+	hourLoad int
+	loadHour int
+	capacity int // queries/hour before queueing delays kick in
+}
+
+// NewSite creates a site with the given engine, an LRU result cache of
+// cacheCap entries, and an hourly capacity for the load model.
+func NewSite(id, region int, engine *DocEngine, cacheCap, hourlyCapacity int) *Site {
+	return &Site{
+		ID:       id,
+		Region:   region,
+		Engine:   engine,
+		Cache:    cache.NewLRU[[]rank.Result](cacheCap),
+		capacity: hourlyCapacity,
+	}
+}
+
+// UpAt reports whether the site is reachable at virtual hour t.
+func (s *Site) UpAt(t float64) bool { return cluster.UpAt(s.Outages, t) }
+
+// load returns the site's load counter for hour h, resetting on rollover.
+func (s *Site) load(h int) int {
+	if h != s.loadHour {
+		s.loadHour = h
+		s.hourLoad = 0
+	}
+	return s.hourLoad
+}
+
+// queueDelayMs models congestion: as the hour's load approaches
+// capacity, waiting grows like rho/(1-rho); beyond capacity it is capped
+// at a large penalty.
+func (s *Site) queueDelayMs(h int) float64 {
+	if s.capacity <= 0 {
+		return 0
+	}
+	rho := float64(s.load(h)) / float64(s.capacity)
+	if rho >= 0.99 {
+		rho = 0.99
+	}
+	return 5 * rho / (1 - rho)
+}
+
+// RoutingPolicy decides which site executes a query.
+type RoutingPolicy int
+
+// Routing policies of Section 5 (Partitioning/External factors).
+const (
+	// RouteGeo sends the query to the nearest up site (DNS-style
+	// geographic routing).
+	RouteGeo RoutingPolicy = iota
+	// RouteLoadAware starts from the nearest site but offloads to the
+	// least-loaded site when the nearest is congested — exploiting the
+	// hourly fluctuation of regional query volume.
+	RouteLoadAware
+	// RouteRoundRobin ignores geography entirely (baseline).
+	RouteRoundRobin
+)
+
+// MultiSite is the Figure 3 system: multiple sites, each a full replica,
+// a WAN between them, per-site caches, and a routing policy.
+type MultiSite struct {
+	Net      *cluster.Network
+	Sites    []*Site
+	Policy   RoutingPolicy
+	CacheTTL float64 // hours a cached result stays fresh; 0 = no caching
+	// OffloadThreshold is the utilization of the nearest site above
+	// which load-aware routing diverts the query (e.g. 0.7).
+	OffloadThreshold float64
+
+	rrNext int
+}
+
+// SiteQueryResult is a query outcome at the multi-site level.
+type SiteQueryResult struct {
+	QueryResult
+	Coordinator int     // site that received the query
+	Executor    int     // site that evaluated it (-1 for cache hits/failures)
+	QueueMs     float64 // congestion delay at the executor
+	Failed      bool    // no site reachable and no cached answer
+}
+
+// Submit routes one query: terms, origin region, arrival in virtual
+// hours. The nearest up site coordinates; the answer may come from its
+// cache (fresh, or stale if every replica is down), or from the
+// executing site chosen by the routing policy.
+// The result is a named return so the deferred stale-cache fallback can
+// rewrite it after the main path has decided to fail.
+func (m *MultiSite) Submit(terms []string, key string, region int, atHours float64, k int) (out SiteQueryResult) {
+	out.Executor = -1
+
+	coord := m.nearestUp(region, atHours)
+	if coord < 0 {
+		// No coordinator reachable at all.
+		out.Failed = true
+		return out
+	}
+	out.Coordinator = coord
+	c := m.Sites[coord]
+	// Client ↔ coordinator hop.
+	out.LatencyMs += m.Net.Latency(region, c.Region, 64)
+
+	// Cache lookup at the coordinator.
+	if m.CacheTTL > 0 {
+		if e, ok := c.Cache.Get(key); ok {
+			age := atHours - e.StoredAt
+			if age <= m.CacheTTL {
+				out.Results = e.Value
+				out.FromCache = true
+				out.LatencyMs += 0.2
+				return out
+			}
+			// Stale: keep as a fallback if execution fails below or
+			// every query processor is gone (empty degraded answer) —
+			// the paper's "upon query processor failures, the system
+			// returns cached results".
+			defer func() {
+				needFallback := out.Failed || (len(out.Results) == 0 && !out.FromCache)
+				if needFallback && len(e.Value) > 0 {
+					out.Results = e.Value
+					out.FromCache = true
+					out.Stale = true
+					out.Failed = false
+				}
+			}()
+		}
+	}
+
+	exec := m.chooseExecutor(coord, atHours)
+	if exec < 0 {
+		out.Failed = true
+		return out
+	}
+	out.Executor = exec
+	x := m.Sites[exec]
+	h := int(atHours)
+	out.QueueMs = x.queueDelayMs(h)
+	if exec != coord && x.Selfish {
+		// Open system: the remote site re-prioritizes its own traffic
+		// ahead of the forwarded query.
+		out.QueueMs += x.ForeignPenaltyMs
+	}
+	x.hourLoad++
+
+	if exec != coord {
+		out.LatencyMs += m.Net.Latency(c.Region, x.Region, 128)
+	}
+	qr := x.Engine.Query(terms, DocQueryOptions{K: k, Stats: GlobalPrecomputed})
+	out.Results = qr.Results
+	out.ServersContacted = qr.ServersContacted
+	out.PostingsDecoded = qr.PostingsDecoded
+	out.PostingBytesRead = qr.PostingBytesRead
+	out.BytesTransferred = qr.BytesTransferred
+	out.LatencyMs += qr.LatencyMs + out.QueueMs
+	if exec != coord {
+		out.LatencyMs += m.Net.Latency(x.Region, c.Region, int(resultBytes(len(qr.Results))))
+	}
+	if m.CacheTTL > 0 {
+		c.Cache.Put(key, qr.Results, atHours)
+	}
+	return out
+}
+
+// nearestUp returns the up site with the smallest region distance to
+// region, or -1.
+func (m *MultiSite) nearestUp(region int, at float64) int {
+	best, bestDist := -1, math.MaxInt32
+	for _, s := range m.Sites {
+		if !s.UpAt(at) {
+			continue
+		}
+		d := s.Region - region
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && best >= 0 && s.ID < best) {
+			best, bestDist = s.ID, d
+		}
+	}
+	return best
+}
+
+// chooseExecutor applies the routing policy starting from the
+// coordinator site.
+func (m *MultiSite) chooseExecutor(coord int, at float64) int {
+	h := int(at)
+	switch m.Policy {
+	case RouteLoadAware:
+		c := m.Sites[coord]
+		if c.capacity > 0 && float64(c.load(h)) >= m.OffloadThreshold*float64(c.capacity) {
+			// Divert to the least-loaded up site.
+			best, bestLoad := -1, math.MaxInt32
+			for _, s := range m.Sites {
+				if !s.UpAt(at) {
+					continue
+				}
+				if l := s.load(h); l < bestLoad {
+					best, bestLoad = s.ID, l
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+		}
+		if c.UpAt(at) {
+			return coord
+		}
+	case RouteRoundRobin:
+		for try := 0; try < len(m.Sites); try++ {
+			s := m.Sites[m.rrNext%len(m.Sites)]
+			m.rrNext++
+			if s.UpAt(at) {
+				return s.ID
+			}
+		}
+		return -1
+	default: // RouteGeo
+		if m.Sites[coord].UpAt(at) {
+			return coord
+		}
+	}
+	// Coordinator down mid-decision: any up site.
+	for _, s := range m.Sites {
+		if s.UpAt(at) {
+			return s.ID
+		}
+	}
+	return -1
+}
+
+// IncrementalBatch is one instalment of an incremental answer: the
+// cumulative merged top-k available after AfterMs.
+type IncrementalBatch struct {
+	AfterMs float64
+	Site    int
+	Results []rank.Result
+}
+
+// QueryIncremental implements Section 5's incremental query processing:
+// every up site evaluates the query; results stream back in order of
+// site latency, and each batch is the merged top-k so far. The first
+// batch arrives at the fastest site's latency rather than the slowest's.
+func (m *MultiSite) QueryIncremental(terms []string, region int, atHours float64, k int) []IncrementalBatch {
+	type arrival struct {
+		site int
+		ms   float64
+		res  []rank.Result
+	}
+	var arrivals []arrival
+	for _, s := range m.Sites {
+		if !s.UpAt(atHours) {
+			continue
+		}
+		qr := s.Engine.Query(terms, DocQueryOptions{K: k, Stats: GlobalPrecomputed})
+		ms := m.Net.Latency(region, s.Region, 64) + qr.LatencyMs +
+			m.Net.Latency(s.Region, region, int(resultBytes(len(qr.Results))))
+		arrivals = append(arrivals, arrival{site: s.ID, ms: ms, res: qr.Results})
+	}
+	// Sort by arrival time.
+	for i := 1; i < len(arrivals); i++ {
+		for j := i; j > 0 && arrivals[j].ms < arrivals[j-1].ms; j-- {
+			arrivals[j], arrivals[j-1] = arrivals[j-1], arrivals[j]
+		}
+	}
+	var out []IncrementalBatch
+	var lists [][]rank.Result
+	for _, a := range arrivals {
+		lists = append(lists, a.res)
+		out = append(out, IncrementalBatch{
+			AfterMs: a.ms,
+			Site:    a.site,
+			// Sites are replicas: the same document can arrive from
+			// several of them, so merge with deduplication.
+			Results: rank.MergeResultsDedup(k, lists...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package qproc
+
+import (
+	"dwr/internal/rank"
+)
+
+// Phrase evaluation across the two architectures (§5, Communication).
+// Document-partitioned: each partition intersects positions locally and
+// ships only its top-k — positions never cross the network. Pipelined
+// term-partitioned: the candidate phrase-start positions travel with the
+// accumulator between term servers, and their encoding (raw vs
+// delta+varint compressed) decides the communication bill.
+
+// QueryPhrase evaluates an exact-phrase query on the document-partitioned
+// engine. Positions stay inside each partition.
+func (e *DocEngine) QueryPhrase(terms []string, k int) QueryResult {
+	if k <= 0 {
+		k = 10
+	}
+	e.queries++
+	var qr QueryResult
+	scorer := rank.NewScorer(rank.FromGlobal(e.global))
+	var lists [][]rank.Result
+	var slowest float64
+	for p := range e.parts {
+		if e.downs[p] {
+			qr.Degraded = true
+			continue
+		}
+		qr.ServersContacted++
+		rs, es := rank.EvaluatePhrase(e.parts[p], scorer, terms, k)
+		service := e.cost.ServiceMs(es.PostingsDecoded)
+		e.busyMs[p] += service
+		if t := e.lanMs + service; t > slowest {
+			slowest = t
+		}
+		qr.PostingsDecoded += es.PostingsDecoded
+		qr.ListsAccessed += es.ListsAccessed
+		qr.PostingBytesRead += es.BytesRead
+		qr.BytesTransferred += resultBytes(len(rs))
+		lists = append(lists, rs)
+	}
+	qr.Results = rank.MergeResults(k, lists...)
+	qr.LatencyMs = slowest + e.lanMs
+	qr.Rounds = 1
+	return qr
+}
+
+// QueryPhrase evaluates an exact-phrase query through the term-
+// partitioned pipeline. compressPositions selects the wire encoding of
+// the travelling candidate positions: raw 4-byte integers, or the
+// delta+varint encoding the paper recommends.
+func (e *TermEngine) QueryPhrase(terms []string, k int, compressPositions bool) QueryResult {
+	if k <= 0 {
+		k = 10
+	}
+	e.queries++
+	var qr QueryResult
+	if len(terms) == 0 {
+		return qr
+	}
+	route := e.tp.PartsOf(terms)
+	qr.ServersContacted = len(route)
+	qr.Rounds = len(route)
+	if len(route) != len(uniqueParts(e.tp.Assign, terms)) {
+		// Defensive: PartsOf already dedupes; keep the invariant obvious.
+		panic("qproc: inconsistent phrase route")
+	}
+
+	// Candidate phrase-start positions travel server to server. The
+	// intersection ∩ᵢ(positions(termᵢ)−i) is commutative, so slots are
+	// processed grouped by owning server, in route order.
+	var starts map[int][]int32
+	latency := 0.0
+	for _, s := range route {
+		ix := e.servers[s]
+		postings := 0
+		var bytesRead int64
+		for slot, t := range terms {
+			if e.tp.Assign[t] != s {
+				continue
+			}
+			it := ix.PostingsWithPositions(t)
+			if it == nil {
+				starts = map[int][]int32{}
+				break
+			}
+			qr.ListsAccessed++
+			bytesRead += int64(ix.PostingBytes(t))
+			cur := make(map[int][]int32)
+			for it.Next() {
+				postings++
+				p := it.Posting()
+				ext := ix.ExtID(p.Doc)
+				if starts != nil {
+					if _, ok := starts[ext]; !ok {
+						continue
+					}
+				}
+				adj := make([]int32, 0, len(p.Pos))
+				for _, pos := range p.Pos {
+					if sp := pos - int32(slot); sp >= 0 {
+						adj = append(adj, sp)
+					}
+				}
+				if len(adj) > 0 {
+					cur[ext] = adj
+				}
+			}
+			if starts == nil {
+				starts = cur
+			} else {
+				starts = intersectStartMaps(starts, cur)
+			}
+			if len(starts) == 0 {
+				break
+			}
+		}
+		service := e.cost.ServiceMs(postings) + e.cost.AccumulatorMs(len(starts))
+		e.busyMs[s] += service
+		latency += e.lanMs + service
+		qr.PostingsDecoded += postings
+		qr.PostingBytesRead += bytesRead
+		// Ship the accumulator: per doc an 8-byte header plus positions.
+		var shipped int64
+		for _, ss := range starts {
+			shipped += 8
+			if compressPositions {
+				shipped += int64(rank.EncodedPositionsSize(ss))
+			} else {
+				shipped += int64(4 * len(ss))
+			}
+		}
+		qr.BytesTransferred += shipped
+		if len(starts) == 0 {
+			break
+		}
+	}
+	latency += e.lanMs
+
+	// Final scoring at the last pipeline server.
+	idf := 0.0
+	for _, t := range dedupTerms(terms) {
+		if v := e.scorer.IDF(t); v > idf {
+			idf = v
+		}
+	}
+	last := e.servers[route[len(route)-1]]
+	rs := make([]rank.Result, 0, len(starts))
+	for ext, ss := range starts {
+		doc := last.InternalID(ext)
+		if doc < 0 {
+			continue
+		}
+		rs = append(rs, rank.Result{Doc: ext, Score: e.scorer.Term(int32(len(ss)), last.DocLen(doc), idf)})
+	}
+	rank.SortResults(rs)
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	qr.Results = rs
+	qr.LatencyMs = latency
+	return qr
+}
+
+// intersectStartMaps mirrors rank's sorted-list intersection for the
+// pipelined accumulator.
+func intersectStartMaps(a, b map[int][]int32) map[int][]int32 {
+	out := make(map[int][]int32)
+	for doc, as := range a {
+		bs, ok := b[doc]
+		if !ok {
+			continue
+		}
+		var merged []int32
+		i, j := 0, 0
+		for i < len(as) && j < len(bs) {
+			switch {
+			case as[i] == bs[j]:
+				merged = append(merged, as[i])
+				i++
+				j++
+			case as[i] < bs[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		if len(merged) > 0 {
+			out[doc] = merged
+		}
+	}
+	return out
+}
+
+func uniqueParts(assign map[string]int, terms []string) map[int]bool {
+	out := make(map[int]bool)
+	for _, t := range terms {
+		if p, ok := assign[t]; ok {
+			out[p] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package querylog
+
+import "math"
+
+// DriftDetector watches the topic distribution of the query stream and
+// reports when it has shifted significantly from the reference window —
+// the paper's open challenge "to determine online when users change
+// their behavior significantly" (§5, External factors). It compares
+// consecutive fixed-size windows by total-variation distance.
+type DriftDetector struct {
+	topics    int
+	window    int
+	threshold float64 // TV distance in [0,1] that counts as drift
+
+	ref     []float64 // reference distribution (normalized)
+	haveRef bool
+	cur     []int
+	n       int
+	// Detections counts how many times drift was signalled.
+	Detections int
+}
+
+// NewDriftDetector creates a detector over the given number of topics,
+// comparing windows of `window` queries, signalling at TV ≥ threshold.
+func NewDriftDetector(topics, window int, threshold float64) *DriftDetector {
+	if window < 1 {
+		window = 100
+	}
+	return &DriftDetector{
+		topics:    topics,
+		window:    window,
+		threshold: threshold,
+		cur:       make([]int, topics),
+	}
+}
+
+// Observe feeds one query's topic. It returns true when the just-closed
+// window's distribution diverges from the reference by at least the
+// threshold; the reference is then reset to the new window (the system
+// is assumed to reconfigure).
+func (dd *DriftDetector) Observe(topic int) bool {
+	if topic >= 0 && topic < dd.topics {
+		dd.cur[topic]++
+	}
+	dd.n++
+	if dd.n < dd.window {
+		return false
+	}
+	dist := normalize(dd.cur)
+	drifted := false
+	if dd.haveRef {
+		if tvDistance(dd.ref, dist) >= dd.threshold {
+			drifted = true
+			dd.Detections++
+			dd.ref = dist // reconfigured: new behaviour is the new normal
+		}
+	} else {
+		dd.ref = dist
+		dd.haveRef = true
+	}
+	dd.cur = make([]int, dd.topics)
+	dd.n = 0
+	return drifted
+}
+
+func normalize(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// tvDistance is the total-variation distance between two distributions.
+func tvDistance(p, q []float64) float64 {
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}

@@ -1,0 +1,76 @@
+package querylog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDriftDetectorStableStream(t *testing.T) {
+	dd := NewDriftDetector(4, 200, 0.2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		if dd.Observe(rng.Intn(4)) {
+			t.Fatalf("false drift detection at query %d on a uniform stream", i)
+		}
+	}
+	if dd.Detections != 0 {
+		t.Fatalf("detections = %d on stable stream", dd.Detections)
+	}
+}
+
+func TestDriftDetectorCatchesShift(t *testing.T) {
+	dd := NewDriftDetector(4, 200, 0.2)
+	rng := rand.New(rand.NewSource(2))
+	// Phase 1: topics 0/1 only.
+	for i := 0; i < 1000; i++ {
+		dd.Observe(rng.Intn(2))
+	}
+	if dd.Detections != 0 {
+		t.Fatalf("detected drift during stationary phase")
+	}
+	// Phase 2: topics 2/3 only — a total shift.
+	fired := false
+	for i := 0; i < 1000; i++ {
+		if dd.Observe(2 + rng.Intn(2)) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("detector missed a complete topic shift")
+	}
+}
+
+func TestDriftDetectorResetAfterDetection(t *testing.T) {
+	dd := NewDriftDetector(2, 100, 0.3)
+	// Establish reference on topic 0.
+	for i := 0; i < 300; i++ {
+		dd.Observe(0)
+	}
+	// Shift to topic 1: one detection, then the new behaviour is normal.
+	for i := 0; i < 1000; i++ {
+		dd.Observe(1)
+	}
+	if dd.Detections != 1 {
+		t.Fatalf("detections = %d, want exactly 1 (reference must reset)", dd.Detections)
+	}
+}
+
+func TestDriftDetectorIgnoresOutOfRange(t *testing.T) {
+	dd := NewDriftDetector(2, 10, 0.3)
+	for i := 0; i < 50; i++ {
+		dd.Observe(99) // invalid topic: counted as window progress only
+	}
+	if dd.Detections != 0 {
+		t.Fatal("invalid topics caused detections")
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	if d := tvDistance([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("TV of disjoint = %v, want 1", d)
+	}
+	if d := tvDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Fatalf("TV of identical = %v, want 0", d)
+	}
+}

@@ -1,0 +1,154 @@
+// Package randx provides deterministic random samplers used by the
+// synthetic Web, query-log, and failure models.
+//
+// Every function takes an explicit *rand.Rand so that experiments are
+// reproducible: callers create sources with fixed seeds and thread them
+// through the whole system. Nothing in this package reads global state.
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded with seed. It is a convenience wrapper so
+// callers do not have to import math/rand just to build a source.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. Unlike math/rand's Zipf it supports any exponent s > 0
+// (including the classic s = 1 observed for query and term frequencies)
+// and small n, at the cost of precomputing the distribution.
+type Zipf struct {
+	cdf []float64 // cumulative probabilities, cdf[n-1] == 1
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+// It panics if n <= 0 or s <= 0, which indicate a programming error.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: NewZipf with n <= 0")
+	}
+	if s <= 0 {
+		panic("randx: NewZipf with s <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against floating-point undershoot
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns a rank in [0, N()).
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of drawing rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Pareto draws a value from a Pareto (power-law) distribution with the
+// given minimum xm and shape alpha. Web page in-degrees and posting-list
+// lengths follow such heavy-tailed laws.
+func Pareto(rng *rand.Rand, xm, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto draws a Pareto(xm, alpha) value truncated to at most max.
+func BoundedPareto(rng *rand.Rand, xm, alpha, max float64) float64 {
+	v := Pareto(rng, xm, alpha)
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// Exp draws an exponential value with the given mean. It is used for
+// inter-arrival times, failure inter-occurrence times, and service times.
+func Exp(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// LogNormal draws a log-normal value with the given location mu and scale
+// sigma (parameters of the underlying normal). Repair durations and Web
+// server response times are well modelled as log-normal.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+// Weighted selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if weights is empty or sums to a
+// non-positive value.
+func Weighted(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("randx: Weighted with empty or non-positive weights")
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm fills a permutation of [0, n) using rng. It is rand.Perm exposed
+// for symmetry with the other helpers.
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// Sample returns k distinct values drawn uniformly from [0, n) using
+// reservoir sampling. If k >= n it returns all of [0, n) in order.
+func Sample(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}

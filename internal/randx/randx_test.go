@@ -1,0 +1,194 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("sources with the same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZipfRankZeroMostLikely(t *testing.T) {
+	rng := New(1)
+	z := NewZipf(1000, 1.0)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(rng)]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("zipf counts not decreasing: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	// For s=1, p(0)/p(1) == 2. Allow generous sampling slack.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("p(0)/p(1) ratio = %.2f, want about 2", ratio)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.5, 2.0} {
+		z := NewZipf(500, s)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: probabilities sum to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := New(seed)
+		z := NewZipf(37, 1.1)
+		for i := 0; i < 200; i++ {
+			r := z.Draw(rng)
+			if r < 0 || r >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	rng := New(7)
+	for i := 0; i < 1000; i++ {
+		v := Pareto(rng, 2.5, 1.3)
+		if v < 2.5 {
+			t.Fatalf("Pareto drew %v below minimum 2.5", v)
+		}
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := New(seed)
+		v := BoundedPareto(rng, 1, 1.1, 50)
+		return v >= 1 && v <= 50
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += Exp(rng, 25)
+	}
+	mean := sum / n
+	if mean < 23 || mean > 27 {
+		t.Fatalf("exponential sample mean %v, want about 25", mean)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	rng := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := LogNormal(rng, 0, 1); v <= 0 {
+			t.Fatalf("LogNormal drew non-positive %v", v)
+		}
+	}
+}
+
+func TestWeightedRespectsWeights(t *testing.T) {
+	rng := New(11)
+	counts := [3]int{}
+	for i := 0; i < 60000; i++ {
+		counts[Weighted(rng, []float64{1, 2, 3})]++
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("weighted counts not ordered: %v", counts)
+	}
+	// Expected proportions 1/6, 2/6, 3/6.
+	if got := float64(counts[2]) / 60000; math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("weight-3 proportion %v, want about 0.5", got)
+	}
+}
+
+func TestWeightedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted(empty) did not panic")
+		}
+	}()
+	Weighted(New(1), nil)
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 50, 12
+		s := Sample(rng, n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKGreaterThanN(t *testing.T) {
+	s := Sample(New(1), 5, 10)
+	if len(s) != 5 {
+		t.Fatalf("Sample(n=5, k=10) returned %d values, want 5", len(s))
+	}
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("Sample(n=5, k=10)[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	rng := New(5)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package rank implements scoring and result aggregation for the
+// distributed query processing of Sections 4–5: BM25 ranking driven by
+// either global or per-partition (local) statistics, disjunctive and
+// conjunctive document-at-a-time evaluation, top-k result heaps, result
+// merging at the broker, and the agreement metrics (overlap@k, Kendall
+// tau) used to quantify how much local statistics distort the global
+// ranking (experiment C9).
+package rank
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"dwr/internal/index"
+)
+
+// Result is one ranked document: the external document ID and its score.
+type Result struct {
+	Doc   int
+	Score float64
+}
+
+// StatsSource supplies the collection statistics that parameterize BM25.
+// It abstracts over "this partition's local statistics" and "global
+// statistics aggregated by the two-round broker protocol".
+type StatsSource struct {
+	NumDocs   int
+	AvgDocLen float64
+	DF        map[string]int
+}
+
+// FromIndex builds a StatsSource from a single index's own statistics.
+func FromIndex(ix *index.Index) StatsSource {
+	st := ix.LocalStats(nil)
+	return StatsSource{NumDocs: st.NumDocs, AvgDocLen: ix.AvgDocLen(), DF: st.DF}
+}
+
+// FromGlobal builds a StatsSource from merged partition statistics.
+func FromGlobal(st index.Stats) StatsSource {
+	avg := 0.0
+	if st.NumDocs > 0 {
+		avg = float64(st.TotalLen) / float64(st.NumDocs)
+	}
+	return StatsSource{NumDocs: st.NumDocs, AvgDocLen: avg, DF: st.DF}
+}
+
+// Scorer computes BM25 scores.
+type Scorer struct {
+	K1, B float64
+	Stats StatsSource
+}
+
+// NewScorer returns a BM25 scorer with the standard parameters
+// (k1 = 1.2, b = 0.75) over the given statistics.
+func NewScorer(stats StatsSource) *Scorer {
+	return &Scorer{K1: 1.2, B: 0.75, Stats: stats}
+}
+
+// IDF returns the BM25 inverse document frequency of term, floored at a
+// small positive value so very common terms still contribute.
+func (s *Scorer) IDF(term string) float64 {
+	df := s.Stats.DF[term]
+	n := s.Stats.NumDocs
+	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	if idf < 1e-6 {
+		idf = 1e-6
+	}
+	return idf
+}
+
+// Term scores one term occurrence: tf within a document of length
+// docLen, with precomputed idf.
+func (s *Scorer) Term(tf int32, docLen int, idf float64) float64 {
+	k1, b := s.K1, s.B
+	norm := 1 - b + b*float64(docLen)/math.Max(s.Stats.AvgDocLen, 1)
+	return idf * float64(tf) * (k1 + 1) / (float64(tf) + k1*norm)
+}
+
+// EvalStats records the resource usage of one evaluation — the units the
+// Webber term-vs-document partitioning comparison is measured in (C6).
+type EvalStats struct {
+	PostingsDecoded int   // postings touched
+	ListsAccessed   int   // posting lists opened (disk seeks in the paper's terms)
+	BytesRead       int64 // encoded posting bytes of the lists accessed
+}
+
+// EvaluateOR scores the disjunction of the query terms over ix
+// (document-at-a-time) and returns the top k results by score. Ties
+// break by ascending external ID so rankings are deterministic.
+func EvaluateOR(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, EvalStats) {
+	var es EvalStats
+	type cursor struct {
+		it  *index.Iterator
+		idf float64
+	}
+	var cursors []cursor
+	for _, t := range dedup(terms) {
+		it := ix.Postings(t)
+		if it == nil {
+			continue
+		}
+		es.BytesRead += int64(ix.PostingBytes(t))
+		es.ListsAccessed++
+		cursors = append(cursors, cursor{it: it, idf: s.IDF(t)})
+	}
+	if len(cursors) == 0 {
+		return nil, es
+	}
+	// Advance all iterators merging by doc.
+	type head struct {
+		doc int32
+		i   int
+	}
+	var heads []head
+	for i := range cursors {
+		if cursors[i].it.Next() {
+			es.PostingsDecoded++
+			heads = append(heads, head{doc: cursors[i].it.Posting().Doc, i: i})
+		}
+	}
+	tk := newTopK(k)
+	for len(heads) > 0 {
+		// Find minimum doc among heads.
+		minDoc := heads[0].doc
+		for _, h := range heads[1:] {
+			if h.doc < minDoc {
+				minDoc = h.doc
+			}
+		}
+		score := 0.0
+		var next []head
+		for _, h := range heads {
+			c := &cursors[h.i]
+			if h.doc == minDoc {
+				score += s.Term(c.it.Posting().TF, ix.DocLen(minDoc), c.idf)
+				if c.it.Next() {
+					es.PostingsDecoded++
+					next = append(next, head{doc: c.it.Posting().Doc, i: h.i})
+				}
+			} else {
+				next = append(next, h)
+			}
+		}
+		tk.offer(Result{Doc: ix.ExtID(minDoc), Score: score})
+		heads = next
+	}
+	return tk.results(), es
+}
+
+// EvaluateAND scores the conjunction of the query terms, using SkipTo on
+// the rarest list to drive the others — the access pattern whose cost
+// skip pointers exist to reduce.
+func EvaluateAND(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, EvalStats) {
+	var es EvalStats
+	type cursor struct {
+		it  *index.Iterator
+		idf float64
+	}
+	uniq := dedup(terms)
+	cursors := make([]cursor, 0, len(uniq))
+	for _, t := range uniq {
+		it := ix.Postings(t)
+		if it == nil {
+			return nil, es // one missing term empties a conjunction
+		}
+		es.BytesRead += int64(ix.PostingBytes(t))
+		es.ListsAccessed++
+		cursors = append(cursors, cursor{it: it, idf: s.IDF(t)})
+	}
+	if len(cursors) == 0 {
+		return nil, es
+	}
+	// Rarest list first minimizes skips.
+	sort.Slice(cursors, func(i, j int) bool { return cursors[i].it.Count() < cursors[j].it.Count() })
+	driver := cursors[0]
+	tk := newTopK(k)
+	if !driver.it.Next() {
+		return nil, es
+	}
+	es.PostingsDecoded++
+	for {
+		doc := driver.it.Posting().Doc
+		match := true
+		for i := 1; i < len(cursors); i++ {
+			if !cursors[i].it.SkipTo(doc) {
+				return tk.results(), es
+			}
+			es.PostingsDecoded++
+			if cursors[i].it.Posting().Doc != doc {
+				match = false
+				break
+			}
+		}
+		if match {
+			score := 0.0
+			for i := range cursors {
+				score += s.Term(cursors[i].it.Posting().TF, ix.DocLen(doc), cursors[i].idf)
+			}
+			tk.offer(Result{Doc: ix.ExtID(doc), Score: score})
+		}
+		if !driver.it.Next() {
+			return tk.results(), es
+		}
+		es.PostingsDecoded++
+	}
+}
+
+func dedup(terms []string) []string {
+	seen := make(map[string]bool, len(terms))
+	out := terms[:0:0]
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// topK keeps the k best results (max score, tie: min doc).
+type topK struct {
+	k  int
+	rs resultHeap
+}
+
+type resultHeap []Result
+
+// Less orders the heap as a min-heap on (score, then descending doc) so
+// the worst kept result is at the root.
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) offer(r Result) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.rs) < t.k {
+		heap.Push(&t.rs, r)
+		return
+	}
+	worst := t.rs[0]
+	if r.Score > worst.Score || (r.Score == worst.Score && r.Doc < worst.Doc) {
+		t.rs[0] = r
+		heap.Fix(&t.rs, 0)
+	}
+}
+
+func (t *topK) results() []Result {
+	out := make([]Result, len(t.rs))
+	copy(out, t.rs)
+	SortResults(out)
+	return out
+}
+
+// SortResults orders results by descending score, ascending doc.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Doc < rs[j].Doc
+	})
+}
+
+// MergeResults merges per-partition result lists into a global top k —
+// the broker's merge step in a document-partitioned system. Scores must
+// be comparable across lists (i.e. computed from the same statistics)
+// for the merge to equal a centralized ranking; comparing the two is
+// exactly experiment C9.
+func MergeResults(k int, lists ...[]Result) []Result {
+	tk := newTopK(k)
+	for _, l := range lists {
+		for _, r := range l {
+			tk.offer(r)
+		}
+	}
+	return tk.results()
+}
+
+// MergeResultsDedup merges result lists that may contain the SAME
+// document (replicas of one collection), keeping each document's best
+// score once. Use MergeResults for disjoint document partitions.
+func MergeResultsDedup(k int, lists ...[]Result) []Result {
+	best := make(map[int]float64)
+	for _, l := range lists {
+		for _, r := range l {
+			if s, ok := best[r.Doc]; !ok || r.Score > s {
+				best[r.Doc] = r.Score
+			}
+		}
+	}
+	tk := newTopK(k)
+	for doc, score := range best {
+		tk.offer(Result{Doc: doc, Score: score})
+	}
+	return tk.results()
+}
+
+// Overlap returns |A∩B| / k for the top-k documents of two rankings —
+// the result-set agreement measure the paper proposes for quantifying
+// the local-vs-global statistics effect.
+func Overlap(a, b []Result, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(a) {
+		k = len(a)
+	}
+	if k > len(b) {
+		k = len(b)
+	}
+	if k == 0 {
+		return 0
+	}
+	seen := make(map[int]bool, k)
+	for _, r := range a[:k] {
+		seen[r.Doc] = true
+	}
+	inter := 0
+	for _, r := range b[:k] {
+		if seen[r.Doc] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k)
+}
+
+// KendallTau computes Kendall's tau-a between two rankings restricted to
+// their common documents. 1 = identical order, -1 = reversed. It returns
+// 1 when fewer than two documents are shared.
+func KendallTau(a, b []Result) float64 {
+	posA := make(map[int]int, len(a))
+	for i, r := range a {
+		posA[r.Doc] = i
+	}
+	var common []int // positions in a, ordered by b
+	for _, r := range b {
+		if p, ok := posA[r.Doc]; ok {
+			common = append(common, p)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if common[i] < common[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}

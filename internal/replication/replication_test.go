@@ -1,0 +1,223 @@
+package replication
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvailabilityFormula(t *testing.T) {
+	if got := Availability(0.9, 1); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("A(0.9,1) = %v", got)
+	}
+	if got := Availability(0.9, 2); math.Abs(got-0.99) > 1e-12 {
+		t.Fatalf("A(0.9,2) = %v", got)
+	}
+	if got := Availability(0.9, 0); got != 0 {
+		t.Fatalf("A(.,0) = %v", got)
+	}
+	f := func(r uint8) bool {
+		n := int(r%6) + 1
+		return Availability(0.8, n+1) >= Availability(0.8, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimaryBackupBasic(t *testing.T) {
+	pb := NewPrimaryBackup(3)
+	if err := pb.Write("user1", "prefs-v1"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := pb.Read("user1")
+	if err != nil || v != "prefs-v1" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	if pb.Messages() != 2 {
+		t.Fatalf("messages = %d, want 2 backups copied", pb.Messages())
+	}
+}
+
+func TestPrimaryBackupFailover(t *testing.T) {
+	pb := NewPrimaryBackup(3)
+	pb.Write("k", "v1")
+	pb.Fail(0) // kill primary
+	v, err := pb.Read("k")
+	if err != nil || v != "v1" {
+		t.Fatalf("read after failover = %q, %v — state lost", v, err)
+	}
+	if pb.Primary() == 0 {
+		t.Fatal("failed primary still primary")
+	}
+	if err := pb.Write("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	pb.Fail(1)
+	pb.Fail(2)
+	if _, err := pb.Read("k"); err != ErrUnavailable {
+		t.Fatalf("read with all replicas down = %v, want ErrUnavailable", err)
+	}
+	pb.Recover(1)
+	if v, err := pb.Read("k"); err != nil || v != "v2" {
+		t.Fatalf("read after recover = %q, %v", v, err)
+	}
+}
+
+func TestPrimaryBackupRecoverCatchesUp(t *testing.T) {
+	pb := NewPrimaryBackup(2)
+	pb.Write("k", "v1")
+	pb.Fail(1)
+	pb.Write("k", "v2") // backup misses this
+	pb.Recover(1)
+	pb.Fail(0) // force promotion of the recovered backup
+	if v, _ := pb.Read("k"); v != "v2" {
+		t.Fatalf("recovered backup served stale %q", v)
+	}
+}
+
+func TestQuorumStrictConsistency(t *testing.T) {
+	q := NewQuorum(3, 2, 2) // r+w=4 > 3
+	if !q.Strict() {
+		t.Fatal("2+2 over 3 should be strict")
+	}
+	q.Write("k", "v1")
+	q.Write("k", "v2")
+	v, ok, err := q.Read("k")
+	if err != nil || !ok || v != "v2" {
+		t.Fatalf("read = %q %v %v", v, ok, err)
+	}
+	// Tolerates one failure.
+	q.Fail(0)
+	if err := q.Write("k", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := q.Read("k"); v != "v3" {
+		t.Fatalf("read after failure = %q", v)
+	}
+	// Two failures break quorums of size 2.
+	q.Fail(1)
+	if err := q.Write("k", "v4"); err != ErrUnavailable {
+		t.Fatalf("write with 1 live replica = %v", err)
+	}
+	if _, _, err := q.Read("k"); err != ErrUnavailable {
+		t.Fatalf("read with 1 live replica = %v", err)
+	}
+}
+
+func TestQuorumWeakConfigurationCanReadStale(t *testing.T) {
+	// w=1, r=1 over 3 replicas is not strict: after the replica that
+	// took the write fails, readers may see nothing or stale data.
+	q := NewQuorum(3, 1, 1)
+	if q.Strict() {
+		t.Fatal("1+1 over 3 must not be strict")
+	}
+	q.Write("k", "v1") // lands on replica 0 only
+	q.Fail(0)
+	_, ok, err := q.Read("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("weak quorum read saw the value despite its only holder being down")
+	}
+}
+
+func TestQuorumPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range [][3]int{{0, 1, 1}, {3, 0, 1}, {3, 4, 1}, {3, 1, 0}, {3, 1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuorum(%v) did not panic", cfg)
+				}
+			}()
+			NewQuorum(cfg[0], cfg[1], cfg[2])
+		}()
+	}
+}
+
+func TestQuorumUnknownKey(t *testing.T) {
+	q := NewQuorum(3, 2, 2)
+	if _, ok, err := q.Read("nope"); ok || err != nil {
+		t.Fatalf("unknown key read = %v %v", ok, err)
+	}
+}
+
+func TestLogMajorityCommit(t *testing.T) {
+	l := NewLog(5)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Propose(fmt.Sprintf("op%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Committed(); len(got) != 3 || got[0] != "op0" || got[2] != "op2" {
+		t.Fatalf("committed = %v", got)
+	}
+	// Two failures out of five: still a majority.
+	l.Fail(0)
+	l.Fail(1)
+	if !l.MajorityUp() {
+		t.Fatal("3 of 5 up should be a majority")
+	}
+	if _, err := l.Propose("op3"); err != nil {
+		t.Fatal(err)
+	}
+	// Third failure: no majority, no progress.
+	l.Fail(2)
+	if l.MajorityUp() {
+		t.Fatal("2 of 5 up is not a majority")
+	}
+	if _, err := l.Propose("op4"); err != ErrUnavailable {
+		t.Fatalf("propose without majority = %v", err)
+	}
+	// Recovery restores progress and the recovered replica catches up.
+	l.Recover(2)
+	if _, err := l.Propose("op4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Committed(); len(got) != 5 || got[4] != "op4" {
+		t.Fatalf("committed after recovery = %v", got)
+	}
+}
+
+func TestLockServiceLeases(t *testing.T) {
+	ls := NewLockService()
+	if !ls.Acquire("index-update", "nodeA", 0, 10) {
+		t.Fatal("fresh acquire failed")
+	}
+	if ls.Acquire("index-update", "nodeB", 5, 10) {
+		t.Fatal("second owner acquired held lock")
+	}
+	// Re-acquire by the same owner extends the lease.
+	if !ls.Acquire("index-update", "nodeA", 5, 10) {
+		t.Fatal("owner re-acquire failed")
+	}
+	if got := ls.Holder("index-update", 12); got != "nodeA" {
+		t.Fatalf("holder at 12 = %q (lease extended to 15)", got)
+	}
+	// Expiry: nodeA crashed; nodeB gets the lock after the lease runs out.
+	if !ls.Acquire("index-update", "nodeB", 16, 10) {
+		t.Fatal("acquire of expired lock failed")
+	}
+	if got := ls.Holder("index-update", 17); got != "nodeB" {
+		t.Fatalf("holder = %q, want nodeB", got)
+	}
+}
+
+func TestLockServiceRelease(t *testing.T) {
+	ls := NewLockService()
+	ls.Acquire("l", "a", 0, 100)
+	if ls.Release("l", "b", 1) {
+		t.Fatal("non-owner released the lock")
+	}
+	if !ls.Release("l", "a", 1) {
+		t.Fatal("owner release failed")
+	}
+	if ls.Holder("l", 2) != "" {
+		t.Fatal("released lock still held")
+	}
+	if got := len(ls.Holders(2)); got != 0 {
+		t.Fatalf("holders = %d", got)
+	}
+}

@@ -1,0 +1,27 @@
+package robots
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"User-agent: *\nDisallow: /private/\n",
+		"User-agent: x\nCrawl-delay: abc\nDisallow /no-colon\n# comment",
+		"Disallow: /orphan-before-agent\nUser-agent: *\nAllow: /a\nDisallow: /a/b",
+		"User-agent: *\nCrawl-delay: -1\nCrawl-delay: 1e308\n",
+		"\x00\xff\nUser-agent: *\nDisallow: /\n",
+	}
+	for _, s := range seeds {
+		f.Add(s, "dwr")
+	}
+	f.Fuzz(func(t *testing.T, body, agent string) {
+		r := Parse(body, agent)
+		// Contract: never panics, crawl delay never negative, Allowed is
+		// total (answers for any path).
+		if r.CrawlDelay < 0 {
+			t.Fatalf("negative crawl delay %v", r.CrawlDelay)
+		}
+		_ = r.Allowed("/any/path")
+		_ = r.Allowed("")
+	})
+}

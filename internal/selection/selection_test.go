@@ -1,0 +1,206 @@
+package selection
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dwr/internal/index"
+	"dwr/internal/partition"
+)
+
+// buildPartitionedIndexes creates 3 partitions with disjoint vocabularies
+// so selection is unambiguous: partition p owns terms "p<p>t<j>".
+func buildPartitionedIndexes(t *testing.T) []index.Stats {
+	t.Helper()
+	var stats []index.Stats
+	for p := 0; p < 3; p++ {
+		b := index.NewBuilder(index.DefaultOptions())
+		for d := 0; d < 50; d++ {
+			terms := make([]string, 0, 12)
+			for j := 0; j < 12; j++ {
+				terms = append(terms, fmt.Sprintf("p%dt%d", p, j%6))
+			}
+			b.AddDocument(p*1000+d, terms)
+		}
+		stats = append(stats, b.Build().LocalStats(nil))
+	}
+	return stats
+}
+
+func TestCORIPicksOwningPartition(t *testing.T) {
+	c := NewCORI(buildPartitionedIndexes(t))
+	if c.K() != 3 {
+		t.Fatalf("K = %d", c.K())
+	}
+	for p := 0; p < 3; p++ {
+		got := c.Rank([]string{fmt.Sprintf("p%dt0", p), fmt.Sprintf("p%dt1", p)})
+		if got[0] != p {
+			t.Fatalf("query for partition %d terms ranked %v", p, got)
+		}
+		if len(got) != 3 {
+			t.Fatalf("rank returned %d partitions", len(got))
+		}
+	}
+}
+
+func TestCORIUnknownTermsStillRanksAll(t *testing.T) {
+	c := NewCORI(buildPartitionedIndexes(t))
+	got := c.Rank([]string{"zzz"})
+	if len(got) != 3 {
+		t.Fatalf("rank = %v", got)
+	}
+	seen := map[int]bool{}
+	for _, p := range got {
+		seen[p] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("rank not a permutation: %v", got)
+	}
+}
+
+func trainData() (partition.CoClusterResult, []partition.QueryDocs) {
+	rng := rand.New(rand.NewSource(1))
+	all := make([]int, 300)
+	for i := range all {
+		all[i] = i
+	}
+	var train []partition.QueryDocs
+	for q := 0; q < 60; q++ {
+		topic := q % 3
+		var docs []int
+		for j := 0; j < 8; j++ {
+			docs = append(docs, topic*100+rng.Intn(100))
+		}
+		train = append(train, partition.QueryDocs{
+			Key:   fmt.Sprintf("topic%d query%d", topic, q),
+			Terms: []string{fmt.Sprintf("topic%d", topic), fmt.Sprintf("query%d", q)},
+			Docs:  docs,
+		})
+	}
+	res := partition.CoClusterDocs(rng, train, all, 3, 20)
+	return res, train
+}
+
+func TestQueryDrivenExactHit(t *testing.T) {
+	res, train := trainData()
+	qd := NewQueryDriven(res, train)
+	q := train[0]
+	ranked := qd.Rank(q.Terms)
+	// The top-ranked partition must hold the plurality of q's docs.
+	counts := make([]int, 3)
+	for _, d := range q.Docs {
+		counts[res.Partition.Assign[d]]++
+	}
+	best := 0
+	for p, c := range counts {
+		if c > counts[best] {
+			best = p
+		}
+	}
+	if ranked[0] != best {
+		t.Fatalf("exact-hit rank %v, plurality partition %d (counts %v)", ranked, best, counts)
+	}
+}
+
+func TestQueryDrivenTermBackoff(t *testing.T) {
+	res, train := trainData()
+	qd := NewQueryDriven(res, train)
+	// Unseen query sharing the topic term should still route to the
+	// topic's partitions.
+	ranked := qd.Rank([]string{"topic1", "neverseenbefore"})
+	// Compare against the average distribution of topic-1 training queries.
+	avg := make([]float64, 3)
+	n := 0
+	for _, q := range train {
+		if q.Terms[0] == "topic1" {
+			for p, v := range res.QueryPart[q.Key] {
+				avg[p] += v
+			}
+			n++
+		}
+	}
+	best := 0
+	for p := range avg {
+		if avg[p] > avg[best] {
+			best = p
+		}
+	}
+	if ranked[0] != best {
+		t.Fatalf("term backoff ranked %v, want %d first (avg %v)", ranked, best, avg)
+	}
+}
+
+func TestQueryDrivenFallback(t *testing.T) {
+	res, train := trainData()
+	qd := NewQueryDriven(res, train)
+	ranked := qd.Rank([]string{"utterly", "unknown"})
+	if len(ranked) != 3 {
+		t.Fatalf("fallback rank = %v", ranked)
+	}
+	// Must rank largest partition first.
+	sizes := res.Partition.Sizes()
+	best := 0
+	for p, s := range sizes {
+		if s > sizes[best] {
+			best = p
+		}
+	}
+	if ranked[0] != best {
+		t.Fatalf("fallback ranked %v, largest partition is %d (%v)", ranked, best, sizes)
+	}
+}
+
+func TestRandomSelectorPermutation(t *testing.T) {
+	r := NewRandom(rand.New(rand.NewSource(2)), 5)
+	for i := 0; i < 20; i++ {
+		got := r.Rank([]string{"x"})
+		seen := map[int]bool{}
+		for _, p := range got {
+			if p < 0 || p >= 5 || seen[p] {
+				t.Fatalf("not a permutation: %v", got)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestBySize(t *testing.T) {
+	s := NewBySize([]int{10, 50, 30})
+	got := s.Rank(nil)
+	if got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("BySize rank = %v", got)
+	}
+}
+
+func TestRecallAtN(t *testing.T) {
+	res, train := trainData()
+	qd := NewQueryDriven(res, train)
+	q := train[3]
+	// Perfect recall when selecting all partitions.
+	r3 := RecallAtN(qd, q.Terms, q.Docs, res.Partition.Assign, 3)
+	if r3 != 1 {
+		t.Fatalf("recall@3 = %v, want 1", r3)
+	}
+	r1 := RecallAtN(qd, q.Terms, q.Docs, res.Partition.Assign, 1)
+	if r1 < 0 || r1 > 1 {
+		t.Fatalf("recall@1 = %v out of range", r1)
+	}
+	if RecallAtN(qd, q.Terms, nil, res.Partition.Assign, 1) != 1 {
+		t.Fatal("empty truth should give recall 1")
+	}
+}
+
+func TestQueryDrivenBeatsRandomOnTraining(t *testing.T) {
+	res, train := trainData()
+	qd := NewQueryDriven(res, train)
+	rnd := NewRandom(rand.New(rand.NewSource(3)), 3)
+	var qdSum, rndSum float64
+	for _, q := range train {
+		qdSum += RecallAtN(qd, q.Terms, q.Docs, res.Partition.Assign, 1)
+		rndSum += RecallAtN(rnd, q.Terms, q.Docs, res.Partition.Assign, 1)
+	}
+	if qdSum <= rndSum {
+		t.Fatalf("query-driven recall %v not above random %v", qdSum, rndSum)
+	}
+}

@@ -1,0 +1,135 @@
+package simweb
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dwr/internal/randx"
+)
+
+// HTTPHandler serves the synthetic Web over real HTTP, so the crawler
+// stack can be exercised against actual sockets, headers, and status
+// codes. The handler multiplexes every simulated host on one listener:
+// the requested host is taken from the Host header (or an X-DWR-Host
+// header, convenient with httptest clients).
+//
+// Section 3's protocol-violation warnings are honoured literally:
+// non-conforming hosts ignore If-Modified-Since, and malformed hosts
+// emit broken HTML — over a perfectly real HTTP connection.
+type HTTPHandler struct {
+	Web *Web
+	// Day is the virtual day content is served for.
+	Day int
+	// seed drives the transient-failure behaviour.
+	seed int64
+}
+
+// NewHTTPHandler creates a handler serving web's content as of the given
+// virtual day.
+func NewHTTPHandler(web *Web, day int, seed int64) *HTTPHandler {
+	return &HTTPHandler{Web: web, Day: day, seed: seed}
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hostName := r.Header.Get("X-DWR-Host")
+	if hostName == "" {
+		hostName = r.Host
+		if i := strings.IndexByte(hostName, ':'); i >= 0 {
+			hostName = hostName[:i]
+		}
+	}
+	host := h.Web.HostByName(hostName)
+	if host == nil {
+		http.Error(w, "unknown host", http.StatusNotFound)
+		return
+	}
+
+	// robots.txt is always served correctly — even broken servers tend
+	// to get this right, and the politeness tests depend on it.
+	if r.URL.Path == "/robots.txt" {
+		body := h.Web.Robots(hostName)
+		if body == "" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, body)
+		return
+	}
+	if r.URL.Path == "/sitemap.txt" {
+		entries := h.Web.Sitemap(hostName, h.Day)
+		if entries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		for _, e := range entries {
+			fmt.Fprintf(w, "%s lastmod=%d\n", e.URL, e.LastMod)
+		}
+		return
+	}
+
+	// Conditional request handling mirrors Fetch: the virtual
+	// Last-Modified day travels in a plain integer header.
+	ims := -1
+	if v := r.Header.Get("X-DWR-If-Modified-Since"); v != "" {
+		if d, err := strconv.Atoi(v); err == nil {
+			ims = d
+		}
+	}
+	rng := randx.New(h.seed + int64(len(r.URL.Path))*7 + int64(h.Day))
+	res := h.Web.Fetch(rng, "http://"+hostName+r.URL.Path, h.Day, ims)
+	switch res.Status {
+	case StatusUnavailable:
+		http.Error(w, "try again", http.StatusServiceUnavailable)
+	case StatusNotFound:
+		http.NotFound(w, r)
+	case StatusNotModified:
+		w.Header().Set("X-DWR-Last-Modified", strconv.Itoa(res.LastModified))
+		w.WriteHeader(http.StatusNotModified)
+	default:
+		w.Header().Set("Content-Type", "text/html")
+		w.Header().Set("X-DWR-Last-Modified", strconv.Itoa(res.LastModified))
+		fmt.Fprint(w, res.HTML)
+	}
+}
+
+// HTTPGet fetches one simulated URL through an HTTP base endpoint
+// (typically an httptest server in front of an HTTPHandler), returning
+// the status code, body, and last-modified day. It is the transport
+// used by the real-socket integration tests and demos.
+func HTTPGet(client *http.Client, base, url string, ifModifiedSince int) (status int, body string, lastMod int, err error) {
+	host, path, ok := SplitURL(url)
+	if !ok {
+		return 0, "", 0, fmt.Errorf("simweb: bad url %q", url)
+	}
+	req, err := http.NewRequest("GET", base+path, nil)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	req.Header.Set("X-DWR-Host", host)
+	if ifModifiedSince >= 0 {
+		req.Header.Set("X-DWR-If-Modified-Since", strconv.Itoa(ifModifiedSince))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if v := resp.Header.Get("X-DWR-Last-Modified"); v != "" {
+		lastMod, _ = strconv.Atoi(v)
+	}
+	return resp.StatusCode, sb.String(), lastMod, nil
+}

@@ -1,0 +1,172 @@
+package simweb
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dwr/internal/textproc"
+)
+
+func httpFixture(t *testing.T) (*Web, *httptest.Server) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Hosts = 40
+	cfg.MaxPages = 30
+	cfg.VocabSize = 1200
+	cfg.FlakyHostFrac = 0 // deterministic transport tests
+	w := New(cfg)
+	srv := httptest.NewServer(NewHTTPHandler(w, 5, 1))
+	t.Cleanup(srv.Close)
+	return w, srv
+}
+
+func TestHTTPServesSameContentAsFetch(t *testing.T) {
+	w, srv := httpFixture(t)
+	client := srv.Client()
+	checked := 0
+	for pid := 0; pid < len(w.Pages) && checked < 25; pid += 5 {
+		url := w.URL(pid)
+		status, body, lastMod, err := HTTPGet(client, srv.URL, url, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != 200 {
+			t.Fatalf("GET %s over HTTP = %d", url, status)
+		}
+		wantMod := w.LastModified(pid, 5)
+		if lastMod != wantMod {
+			t.Fatalf("%s last-modified %d over HTTP, want %d", url, lastMod, wantMod)
+		}
+		if want := w.RenderHTML(pid, wantMod); body != want {
+			t.Fatalf("%s body differs over HTTP (%d vs %d bytes)", url, len(body), len(want))
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
+func TestHTTPConditionalRequests(t *testing.T) {
+	w, srv := httpFixture(t)
+	client := srv.Client()
+	var pid int = -1
+	for _, h := range w.Hosts {
+		if !h.NonConforming && len(h.Pages) > 0 {
+			pid = h.Pages[0]
+			break
+		}
+	}
+	if pid < 0 {
+		t.Skip("no conforming host")
+	}
+	url := w.URL(pid)
+	lastMod := w.LastModified(pid, 5)
+	status, body, _, err := HTTPGet(client, srv.URL, url, lastMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 304 || body != "" {
+		t.Fatalf("conditional GET = %d with %d body bytes, want 304 empty", status, len(body))
+	}
+}
+
+func TestHTTPNonConformingIgnoresHeader(t *testing.T) {
+	w, srv := httpFixture(t)
+	client := srv.Client()
+	for _, h := range w.Hosts {
+		if h.NonConforming && len(h.Pages) > 0 {
+			url := w.URL(h.Pages[0])
+			status, body, _, err := HTTPGet(client, srv.URL, url, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != 200 || body == "" {
+				t.Fatalf("non-conforming host answered %d over HTTP; must ignore If-Modified-Since", status)
+			}
+			return
+		}
+	}
+	t.Skip("no non-conforming host")
+}
+
+func TestHTTPRobotsAndSitemap(t *testing.T) {
+	w, srv := httpFixture(t)
+	client := srv.Client()
+	for _, h := range w.Hosts {
+		if h.HasRobots {
+			status, body, _, err := HTTPGet(client, srv.URL, "http://"+h.Name+"/robots.txt", -1)
+			if err != nil || status != 200 || !strings.Contains(body, "Disallow") {
+				t.Fatalf("robots over HTTP: %d %v %q", status, err, body)
+			}
+			break
+		}
+	}
+	for _, h := range w.Hosts {
+		if h.HasSitemap {
+			status, body, _, err := HTTPGet(client, srv.URL, "http://"+h.Name+"/sitemap.txt", -1)
+			if err != nil || status != 200 || !strings.Contains(body, "lastmod=") {
+				t.Fatalf("sitemap over HTTP: %d %v", status, err)
+			}
+			break
+		}
+	}
+}
+
+func TestHTTPUnknownHostAndPage(t *testing.T) {
+	_, srv := httpFixture(t)
+	client := srv.Client()
+	status, _, _, err := HTTPGet(client, srv.URL, "http://nosuch.example/x.html", -1)
+	if err != nil || status != 404 {
+		t.Fatalf("unknown host = %d, %v", status, err)
+	}
+	w, _ := httpFixture(t)
+	status, _, _, err = HTTPGet(client, srv.URL, "http://"+w.Hosts[0].Name+"/nosuch.html", -1)
+	if err != nil || status != 404 {
+		t.Fatalf("unknown page = %d, %v", status, err)
+	}
+}
+
+// TestHTTPCrawlIntegration crawls a slice of the web over real HTTP —
+// fetch, parse, follow links — and confirms it discovers the same pages
+// the in-process fetch path reaches.
+func TestHTTPCrawlIntegration(t *testing.T) {
+	w, srv := httpFixture(t)
+	client := srv.Client()
+	// BFS over real HTTP from every host's front page.
+	var frontier []string
+	for _, h := range w.Hosts {
+		if len(h.Pages) > 0 {
+			frontier = append(frontier, w.URL(h.Pages[0]))
+		}
+	}
+	seen := map[string]bool{}
+	fetched := 0
+	for len(frontier) > 0 && fetched < 400 {
+		url := frontier[0]
+		frontier = frontier[1:]
+		if seen[url] {
+			continue
+		}
+		seen[url] = true
+		status, body, _, err := HTTPGet(client, srv.URL, url, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != 200 {
+			continue
+		}
+		fetched++
+		doc := textproc.ParseHTML(body)
+		for _, href := range doc.Links {
+			abs := ResolveLink(url, href)
+			if abs != "" && !seen[abs] {
+				frontier = append(frontier, abs)
+			}
+		}
+	}
+	if fetched < 100 {
+		t.Fatalf("HTTP crawl fetched only %d pages", fetched)
+	}
+}

@@ -1,0 +1,142 @@
+package textproc
+
+import (
+	"sort"
+	"strings"
+)
+
+// LangProfile is a character n-gram frequency profile of a language,
+// following Cavnar & Trenkle's "N-gram-based text categorization" — the
+// technique the paper cites for identifying the language of documents and
+// queries when partitioning the index by language (Section 5).
+type LangProfile struct {
+	Lang string
+	rank map[string]int // n-gram -> rank (0 = most frequent)
+}
+
+// maxProfileNgrams bounds profile size; Cavnar–Trenkle use the top 300.
+const maxProfileNgrams = 300
+
+// ngramSizes are the n-gram lengths mixed into each profile.
+var ngramSizes = []int{1, 2, 3}
+
+// ngrams extracts padded character n-grams from text.
+func ngrams(text string) []string {
+	text = strings.ToLower(text)
+	words := Tokenize(text)
+	var out []string
+	for _, w := range words {
+		padded := "_" + w + "_"
+		for _, n := range ngramSizes {
+			for i := 0; i+n <= len(padded); i++ {
+				out = append(out, padded[i:i+n])
+			}
+		}
+	}
+	return out
+}
+
+// NewLangProfile trains a profile for lang from sample text.
+func NewLangProfile(lang, sample string) *LangProfile {
+	counts := make(map[string]int)
+	for _, g := range ngrams(sample) {
+		counts[g]++
+	}
+	type gc struct {
+		g string
+		c int
+	}
+	all := make([]gc, 0, len(counts))
+	for g, c := range counts {
+		all = append(all, gc{g, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].g < all[j].g
+	})
+	if len(all) > maxProfileNgrams {
+		all = all[:maxProfileNgrams]
+	}
+	rank := make(map[string]int, len(all))
+	for i, e := range all {
+		rank[e.g] = i
+	}
+	return &LangProfile{Lang: lang, rank: rank}
+}
+
+// distance computes the Cavnar–Trenkle out-of-place distance between this
+// profile and the n-gram ranks of a text.
+func (p *LangProfile) distance(textRank map[string]int) int {
+	const outOfPlace = maxProfileNgrams
+	d := 0
+	for g, tr := range textRank {
+		pr, ok := p.rank[g]
+		if !ok {
+			d += outOfPlace
+			continue
+		}
+		diff := tr - pr
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}
+
+// LangIdentifier classifies text against a set of trained profiles.
+type LangIdentifier struct {
+	profiles []*LangProfile
+}
+
+// NewLangIdentifier creates an identifier over the given profiles.
+func NewLangIdentifier(profiles ...*LangProfile) *LangIdentifier {
+	return &LangIdentifier{profiles: profiles}
+}
+
+// Identify returns the best-matching language for text, or "" if the
+// identifier has no profiles or the text yields no n-grams (e.g. a very
+// short query — the paper notes query language identification "may
+// introduce errors" precisely because of this).
+func (li *LangIdentifier) Identify(text string) string {
+	if len(li.profiles) == 0 {
+		return ""
+	}
+	counts := make(map[string]int)
+	for _, g := range ngrams(text) {
+		counts[g]++
+	}
+	if len(counts) == 0 {
+		return ""
+	}
+	type gc struct {
+		g string
+		c int
+	}
+	all := make([]gc, 0, len(counts))
+	for g, c := range counts {
+		all = append(all, gc{g, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].g < all[j].g
+	})
+	if len(all) > maxProfileNgrams {
+		all = all[:maxProfileNgrams]
+	}
+	textRank := make(map[string]int, len(all))
+	for i, e := range all {
+		textRank[e.g] = i
+	}
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, p := range li.profiles {
+		if d := p.distance(textRank); d < bestDist {
+			best, bestDist = p.Lang, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,72 @@
+package textproc
+
+import "testing"
+
+const englishSample = `the quick brown fox jumps over the lazy dog and then
+runs through the forest with great speed while the hunter watches from the
+hill and thinks about what to have for dinner this evening with his family
+which is waiting at home near the fire in the old wooden house by the river`
+
+const spanishSample = `el rapido zorro marron salta sobre el perro perezoso y
+luego corre por el bosque con gran velocidad mientras el cazador observa desde
+la colina y piensa en que cenar esta noche con su familia que espera en casa
+cerca del fuego en la vieja casa de madera junto al rio`
+
+const italianSample = `la volpe veloce salta sopra il cane pigro e poi corre
+attraverso la foresta con grande velocita mentre il cacciatore guarda dalla
+collina e pensa a cosa mangiare per cena questa sera con la sua famiglia che
+aspetta a casa vicino al fuoco nella vecchia casa di legno presso il fiume`
+
+func newTestIdentifier() *LangIdentifier {
+	return NewLangIdentifier(
+		NewLangProfile("en", englishSample),
+		NewLangProfile("es", spanishSample),
+		NewLangProfile("it", italianSample),
+	)
+}
+
+func TestIdentifyLongText(t *testing.T) {
+	li := newTestIdentifier()
+	cases := []struct{ text, want string }{
+		{"the hunter runs through the forest with the dog", "en"},
+		{"el cazador corre por el bosque con el perro", "es"},
+		{"il cacciatore corre attraverso la foresta con il cane", "it"},
+	}
+	for _, c := range cases {
+		if got := li.Identify(c.text); got != c.want {
+			t.Errorf("Identify(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestIdentifySelfSamples(t *testing.T) {
+	li := newTestIdentifier()
+	for _, c := range []struct{ text, want string }{
+		{englishSample, "en"}, {spanishSample, "es"}, {italianSample, "it"},
+	} {
+		if got := li.Identify(c.text); got != c.want {
+			t.Errorf("self-sample identified as %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIdentifyEmptyAndNoProfiles(t *testing.T) {
+	li := newTestIdentifier()
+	if got := li.Identify("..."); got != "" {
+		t.Errorf("Identify(no ngrams) = %q, want empty", got)
+	}
+	empty := NewLangIdentifier()
+	if got := empty.Identify("hello world"); got != "" {
+		t.Errorf("Identify with no profiles = %q, want empty", got)
+	}
+}
+
+func TestIdentifyShortQueryReturnsSomething(t *testing.T) {
+	// The paper notes short queries are hard; we only require a decision
+	// from the known set, not correctness.
+	li := newTestIdentifier()
+	got := li.Identify("fox")
+	if got != "en" && got != "es" && got != "it" {
+		t.Errorf("Identify(short) = %q, not a known language", got)
+	}
+}

@@ -1,0 +1,66 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens. Letters and digits
+// form tokens; everything else separates them. Tokens longer than 64
+// bytes are truncated — real crawls meet pathological "words" (base64
+// blobs, minified code) that would bloat the lexicon otherwise.
+func Tokenize(text string) []string {
+	const maxToken = 64
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if b.Len() < maxToken {
+				b.WriteRune(unicode.ToLower(r))
+			}
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// stopwords is a small English stopword list. The synthetic vocabulary in
+// simweb embeds these words at the head of its Zipf distribution so that
+// stopping has the same effect it has on real text.
+var stopwords = map[string]bool{
+	"the": true, "of": true, "and": true, "a": true, "to": true, "in": true,
+	"is": true, "it": true, "that": true, "for": true, "on": true, "was": true,
+	"with": true, "as": true, "at": true, "by": true, "be": true, "this": true,
+	"are": true, "or": true, "an": true, "from": true, "not": true, "but": true,
+}
+
+// IsStopword reports whether token is on the built-in stopword list.
+func IsStopword(token string) bool { return stopwords[token] }
+
+// RemoveStopwords filters stopwords out of tokens, returning a new slice.
+func RemoveStopwords(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TermFreq counts token occurrences.
+func TermFreq(tokens []string) map[string]int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
