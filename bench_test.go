@@ -9,10 +9,13 @@ package dwr
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"dwr/internal/cache"
 	"dwr/internal/experiments"
 	"dwr/internal/index"
+	"dwr/internal/partition"
+	"dwr/internal/qproc"
 	"dwr/internal/randx"
 	"dwr/internal/rank"
 )
@@ -241,6 +244,116 @@ func BenchmarkIndexBuilders(b *testing.B) {
 			if _, err := index.BuildPipeline(opts, docs, 4); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// ---- Parallel scatter-gather benchmarks (wall-clock, not simulated) ----
+
+// benchQueries draws a Zipf query stream over the benchCorpus vocabulary.
+func benchQueries(n int) [][]string {
+	rng := randx.New(17)
+	z := randx.NewZipf(3000, 1.0)
+	out := make([][]string, n)
+	for i := range out {
+		q := make([]string, 1+rng.Intn(3))
+		for j := range q {
+			q[j] = fmt.Sprintf("w%04d", z.Draw(rng))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func benchDocEngine(b *testing.B, docs []index.Doc, k int) *qproc.DocEngine {
+	b.Helper()
+	ids := make([]int, len(docs))
+	for i, d := range docs {
+		ids[i] = d.Ext
+	}
+	e, err := qproc.NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkParallelBroker times the same query replay through the serial
+// broker (workers=1) and the parallel scatter-gather (workers=GOMAXPROCS)
+// over 8 partitions. Results are identical by construction; only
+// wall-clock differs. The "speedup" sub-benchmark times both inside one
+// run and reports serial/parallel as a metric (≈1.0 on a single core,
+// approaching min(8, cores) on a multi-core runner).
+func BenchmarkParallelBroker(b *testing.B) {
+	docs := benchCorpus()
+	e := benchDocEngine(b, docs, 8)
+	queries := benchQueries(64)
+	replay := func() {
+		for _, q := range queries {
+			e.Query(q, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalTwoRound})
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		e.SetWorkers(1)
+		for i := 0; i < b.N; i++ {
+			replay()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		e.SetWorkers(0)
+		for i := 0; i < b.N; i++ {
+			replay()
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var serial, parallel time.Duration
+		for i := 0; i < b.N; i++ {
+			e.SetWorkers(1)
+			t0 := time.Now()
+			replay()
+			serial += time.Since(t0)
+			e.SetWorkers(0)
+			t0 = time.Now()
+			replay()
+			parallel += time.Since(t0)
+		}
+		if parallel > 0 {
+			b.ReportMetric(float64(serial)/float64(parallel), "speedup")
+		}
+	})
+}
+
+// BenchmarkParallelBuild times constructing the 8 partition indexes of a
+// document-partitioned engine serially vs concurrently.
+func BenchmarkParallelBuild(b *testing.B) {
+	docs := benchCorpus()
+	b.Run("serial", func(b *testing.B) {
+		qproc.SetDefaultWorkers(1)
+		defer qproc.SetDefaultWorkers(0)
+		for i := 0; i < b.N; i++ {
+			benchDocEngine(b, docs, 8)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchDocEngine(b, docs, 8)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var serial, parallel time.Duration
+		for i := 0; i < b.N; i++ {
+			qproc.SetDefaultWorkers(1)
+			t0 := time.Now()
+			benchDocEngine(b, docs, 8)
+			serial += time.Since(t0)
+			qproc.SetDefaultWorkers(0)
+			t0 = time.Now()
+			benchDocEngine(b, docs, 8)
+			parallel += time.Since(t0)
+		}
+		qproc.SetDefaultWorkers(0)
+		if parallel > 0 {
+			b.ReportMetric(float64(serial)/float64(parallel), "speedup")
 		}
 	})
 }

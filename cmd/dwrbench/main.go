@@ -15,12 +15,15 @@ import (
 	"time"
 
 	"dwr/internal/experiments"
+	"dwr/internal/qproc"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
+	workers := flag.Int("workers", 0, "engine fan-out width (0 = GOMAXPROCS, 1 = serial); every experiment reports identical numbers at any value")
 	flag.Parse()
+	qproc.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, e := range experiments.Registry() {

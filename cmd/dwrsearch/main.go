@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dwr/internal/core"
+	"dwr/internal/qproc"
 )
 
 func main() {
@@ -27,13 +28,16 @@ func main() {
 	phrase := flag.Bool("phrase", false, "treat the query as an exact phrase")
 	hosts := flag.Int("hosts", 80, "hosts in the synthetic web")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "broker fan-out and build concurrency (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	flag.Parse()
 
+	qproc.SetDefaultWorkers(*workers)
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Web.Seed = *seed
 	cfg.Web.Hosts = *hosts
 	cfg.Partitions = *partitions
+	cfg.Workers = *workers
 	switch *strategy {
 	case "random":
 		cfg.Strategy = core.PartitionRandom

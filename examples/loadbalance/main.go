@@ -10,6 +10,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"dwr/internal/index"
 	"dwr/internal/metrics"
@@ -69,6 +71,24 @@ func main() {
 		de.Query(q.Terms, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalPrecomputed})
 	}
 	replay("document-partitioned", de.BusyMs())
+
+	// The same replay through the serial broker and the parallel
+	// scatter-gather: answers and busy-load accounting are identical at
+	// any width; only wall-clock time changes with the core count.
+	timeReplay := func(workers int) time.Duration {
+		de.SetWorkers(workers)
+		de.ResetBusy()
+		t0 := time.Now()
+		for _, q := range lg.Queries[:3000] {
+			de.Query(q.Terms, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalPrecomputed})
+		}
+		return time.Since(t0)
+	}
+	serialT := timeReplay(1)
+	parallelT := timeReplay(0)
+	fmt.Printf("broker wall-clock (%d cores): serial %v, parallel %v (%.2fx)\n\n",
+		runtime.GOMAXPROCS(0), serialT.Round(time.Millisecond),
+		parallelT.Round(time.Millisecond), float64(serialT)/float64(parallelT))
 
 	// Term-partitioned, random assignment: the Figure 2 imbalance.
 	run := func(tp partition.TermPartition) []float64 {

@@ -38,6 +38,7 @@ func main() {
 		Policy:           qproc.RouteGeo,
 		CacheTTL:         1, // results stay fresh for one virtual hour
 		OffloadThreshold: 0.7,
+		Workers:          0, // incremental answers fan out over all cores
 	}
 	for s := 0; s < 3; s++ {
 		dp := partition.RoundRobinDocs(ids, 4)

@@ -1,0 +1,63 @@
+// Package conc provides the bounded worker-pool primitive underneath
+// the parallel scatter-gather broker (internal/qproc) and concurrent
+// index construction (internal/index).
+//
+// The design contract that keeps real parallelism compatible with the
+// simulation's determinism: a task writes only state owned by its own
+// index i (a per-item slot in a results slice), and the caller
+// aggregates those slots serially after Do returns, in the same order
+// the serial loop would have produced them. Integer counters, float
+// accumulations, and RNG draws therefore happen in exactly the serial
+// order, and results are byte-identical at any worker count.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested fan-out width: values <= 0 mean
+// GOMAXPROCS, anything else is returned as-is.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns once every call has
+// finished. workers <= 1 (after resolution) runs inline on the calling
+// goroutine — the serial baseline. fn must only write state owned by
+// item i; cross-item aggregation belongs in the caller, after Do.
+func Do(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic counter: cheap, and long items do not
+	// stall the queue behind them.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -73,6 +73,11 @@ type Config struct {
 	// TrainQueries is the size of the training log used by
 	// PartitionQueryDriven (ignored otherwise).
 	TrainQueries int
+	// Workers bounds the broker's scatter-gather fan-out: 1 = serial,
+	// 0 = GOMAXPROCS. Any value produces identical results; only
+	// wall-clock time changes. (Partition-build concurrency follows
+	// qproc.SetDefaultWorkers, which the CLIs set from the same flag.)
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale end-to-end configuration.
@@ -177,6 +182,7 @@ func (e *Engine) partitionAndIndex() error {
 	if err != nil {
 		return err
 	}
+	q.SetWorkers(cfg.Workers)
 	e.Query = q
 	if e.Selector == nil {
 		var stats []index.Stats

@@ -3,6 +3,8 @@ package index
 import (
 	"fmt"
 	"sort"
+
+	"dwr/internal/conc"
 )
 
 // Builder constructs an Index incrementally in memory: the vanilla
@@ -87,6 +89,14 @@ func (b *Builder) NumDocs() int { return len(b.docs) }
 // Build freezes the builder into an immutable Index. The builder must
 // not be used afterwards.
 func (b *Builder) Build() *Index {
+	return b.BuildParallel(1)
+}
+
+// BuildParallel is Build with the per-term posting-list encoding fanned
+// out over up to workers goroutines (0 = GOMAXPROCS). Each worker owns
+// a disjoint set of lexicon slots, so the resulting index is identical
+// to Build's at any worker count.
+func (b *Builder) BuildParallel(workers int) *Index {
 	ix := &Index{
 		opts:     b.opts,
 		terms:    make(map[string]int, len(b.posting)),
@@ -102,9 +112,26 @@ func (b *Builder) Build() *Index {
 	ix.termList = make([]termEntry, len(terms))
 	for i, t := range terms {
 		ix.terms[t] = i
-		ix.termList[i] = termEntry{term: t, pl: encodePostings(b.posting[t], b.opts)}
 	}
+	conc.Do(len(terms), workers, func(i int) {
+		t := terms[i]
+		ix.termList[i] = termEntry{term: t, pl: encodePostings(b.posting[t], b.opts)}
+	})
 	return ix
+}
+
+// BuildAll freezes a set of builders concurrently — the construction
+// path of the partitioned query engines, where K partition indexes are
+// independent and a serial loop would leave all but one core idle.
+// workers bounds the builder-level fan-out (0 = GOMAXPROCS); each
+// builder additionally parallelizes its own posting encoding, which
+// matters when K is smaller than the machine.
+func BuildAll(builders []*Builder, workers int) []*Index {
+	out := make([]*Index, len(builders))
+	conc.Do(len(builders), workers, func(i int) {
+		out[i] = builders[i].BuildParallel(workers)
+	})
+	return out
 }
 
 // SortBuilder implements classic sort-based index construction

@@ -7,6 +7,16 @@ import (
 // Index is an immutable inverted index over a set of documents. Build
 // one with a Builder (or one of the distributed build strategies) and
 // query it through Postings, DF, CF, and the document accessors.
+//
+// Reader-safety invariant: once a builder returns an Index, no method
+// mutates it — there is no lazily-populated cache, no memoized
+// statistic, no internal cursor. Every accessor is therefore safe for
+// any number of concurrent readers with no locking, which is what lets
+// the scatter-gather broker of internal/qproc evaluate partitions on
+// parallel goroutines. (Per-iteration state lives in the Iterator
+// values handed out by Postings; each call returns a fresh one.)
+// Anything that would break this invariant must go through a new type
+// (see Dynamic for the mutable, lock-guarded variant).
 type Index struct {
 	opts     Options
 	terms    map[string]int
@@ -93,6 +103,20 @@ func (ix *Index) postings(term string, withPos bool) *Iterator {
 		return nil
 	}
 	return newIterator(&ix.termList[i].pl, ix.opts, withPos)
+}
+
+// PostingsInto is Postings with caller-owned iterator storage: it
+// re-initializes *it over term's posting list (without positions) and
+// returns it, or returns nil — leaving *it untouched — when the term is
+// absent. Evaluation loops that score many lists per query use this
+// with pooled Iterator values to keep the hot path allocation-free.
+func (ix *Index) PostingsInto(it *Iterator, term string) *Iterator {
+	i, ok := ix.terms[term]
+	if !ok {
+		return nil
+	}
+	*it = Iterator{pl: &ix.termList[i].pl, opts: ix.opts}
+	return it
 }
 
 // PostingBytes returns the encoded size in bytes of term's posting list,

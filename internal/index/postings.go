@@ -10,6 +10,7 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Posting is one term occurrence record: the internal document ordinal,
@@ -143,15 +144,19 @@ func (it *Iterator) SkipTo(target int32) bool {
 	if it.valid && it.cur.Doc >= target {
 		return true
 	}
-	// Jump via the skip table: find the last skip entry not past target
-	// that is also ahead of the current decode position.
-	for s := len(it.pl.skips) - 1; s >= 0; s-- {
-		e := it.pl.skips[s]
-		if e.doc < target && e.index > it.i {
+	// Jump via the skip table: the entries' doc fields are strictly
+	// increasing, so binary-search for the last entry with doc < target
+	// (O(log S) instead of a linear scan from the end). If that entry is
+	// not ahead of the current decode position, no earlier one is either
+	// — entry indexes increase with doc — and we decode forward from
+	// where we are.
+	if skips := it.pl.skips; len(skips) > 0 {
+		s := sort.Search(len(skips), func(i int) bool { return skips[i].doc >= target }) - 1
+		if s >= 0 && skips[s].index > it.i {
+			e := skips[s]
 			it.pos = e.offset
 			it.i = e.index
 			it.prevDoc = e.doc
-			break
 		}
 	}
 	for it.Next() {

@@ -1,0 +1,89 @@
+package qproc
+
+import (
+	"testing"
+
+	"dwr/internal/index"
+	"dwr/internal/partition"
+)
+
+// Wall-clock benchmarks of the scatter-gather broker: the serial
+// (workers=1) and parallel (workers=GOMAXPROCS) paths produce identical
+// answers — see TestParallelBrokerMatchesSerial — so these measure pure
+// execution-strategy cost. On a single core the parallel path should be
+// within noise of serial (the worker pool runs inline below 2 workers of
+// real parallelism); on a multi-core runner it approaches min(K, cores)×.
+
+func benchEngine(b *testing.B, parts int) (*DocEngine, [][]string) {
+	b.Helper()
+	docs := corpus(31, 2000, 1000)
+	ids := make([]int, len(docs))
+	for i, d := range docs {
+		ids[i] = d.Ext
+	}
+	e, err := NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, parts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, zipfQueries(32, 50, 1000)
+}
+
+func benchBrokerWorkers(b *testing.B, workers int, mode StatsMode) {
+	e, queries := benchEngine(b, 8)
+	e.SetWorkers(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			e.Query(q, DocQueryOptions{K: 10, Stats: mode})
+		}
+	}
+}
+
+func BenchmarkBrokerSerial(b *testing.B)   { benchBrokerWorkers(b, 1, GlobalPrecomputed) }
+func BenchmarkBrokerParallel(b *testing.B) { benchBrokerWorkers(b, 0, GlobalPrecomputed) }
+
+func BenchmarkBrokerTwoRoundSerial(b *testing.B)   { benchBrokerWorkers(b, 1, GlobalTwoRound) }
+func BenchmarkBrokerTwoRoundParallel(b *testing.B) { benchBrokerWorkers(b, 0, GlobalTwoRound) }
+
+func benchTermEngineWorkers(b *testing.B, workers int) {
+	docs := corpus(35, 1200, 600)
+	central := centralIndex(docs)
+	tp := partition.BinPackTerms(central.Terms(), func(t string) float64 {
+		return float64(central.DF(t))
+	}, 8)
+	e, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetWorkers(workers)
+	queries := zipfQueries(36, 50, 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			e.Query(q, 10)
+		}
+	}
+}
+
+func BenchmarkTermPipelineSerial(b *testing.B)   { benchTermEngineWorkers(b, 1) }
+func BenchmarkTermPipelineParallel(b *testing.B) { benchTermEngineWorkers(b, 0) }
+
+func benchConstruction(b *testing.B, workers int) {
+	docs := corpus(37, 2000, 800)
+	ids := make([]int, len(docs))
+	for i, d := range docs {
+		ids[i] = d.Ext
+	}
+	dp := partition.RoundRobinDocs(ids, 8)
+	SetDefaultWorkers(workers)
+	defer SetDefaultWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDocEngine(index.DefaultOptions(), docs, dp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineConstructionSerial(b *testing.B)   { benchConstruction(b, 1) }
+func BenchmarkEngineConstructionParallel(b *testing.B) { benchConstruction(b, 0) }

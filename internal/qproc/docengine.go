@@ -2,7 +2,9 @@ package qproc
 
 import (
 	"fmt"
+	"sync"
 
+	"dwr/internal/conc"
 	"dwr/internal/index"
 	"dwr/internal/partition"
 	"dwr/internal/rank"
@@ -13,6 +15,14 @@ import (
 // processors each hold an inverted index over a sub-collection, and a
 // broker scatters queries, optionally after collection selection, then
 // merges the per-partition top-k lists.
+//
+// The scatter-gather is real: partition evaluations fan out over a
+// bounded worker pool (SetWorkers; default GOMAXPROCS) and the broker
+// aggregates per-partition results serially at the gather point, so
+// results and all accounting are byte-identical to the serial broker
+// (workers=1). The engine is safe for concurrent Query calls: the
+// partition indexes are immutable concurrent-reader structures and the
+// busy-load accounting is guarded by a mutex taken only at the gather.
 type DocEngine struct {
 	cost  CostModel
 	lanMs float64
@@ -20,6 +30,8 @@ type DocEngine struct {
 	// global statistics of the whole collection, available when the
 	// broker runs the two-round protocol or precomputes them offline.
 	global    index.Stats
+	workers   int // broker fan-out width; <=0 = GOMAXPROCS, 1 = serial
+	mu        sync.Mutex
 	busyMs    []float64
 	downs     []bool
 	queries   int
@@ -27,8 +39,9 @@ type DocEngine struct {
 }
 
 // NewDocEngine builds per-partition indexes from docs according to the
-// document partition. Documents not present in the partition assignment
-// are dropped.
+// document partition; the K partition indexes are constructed
+// concurrently. Documents not present in the partition assignment are
+// dropped.
 func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartition) (*DocEngine, error) {
 	builders := make([]*index.Builder, dp.K)
 	for i := range builders {
@@ -44,16 +57,16 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	e := &DocEngine{
 		cost:      DefaultCostModel(),
 		lanMs:     0.3,
+		workers:   DefaultWorkers(),
 		busyMs:    make([]float64, dp.K),
 		downs:     make([]bool, dp.K),
 		partition: dp,
 	}
-	var stats []index.Stats
-	for _, b := range builders {
-		ix := b.Build()
-		e.parts = append(e.parts, ix)
-		stats = append(stats, ix.LocalStats(nil))
-	}
+	e.parts = index.BuildAll(builders, e.workers)
+	stats := make([]index.Stats, len(e.parts))
+	conc.Do(len(e.parts), e.workers, func(i int) {
+		stats[i] = e.parts[i].LocalStats(nil)
+	})
 	e.global = index.MergeStats(stats...)
 	if e.global.NumDocs == 0 {
 		return nil, fmt.Errorf("qproc: document partition covers no documents")
@@ -73,20 +86,37 @@ func (e *DocEngine) PartIndex(p int) *index.Index { return e.parts[p] }
 // GlobalStats returns the precomputed whole-collection statistics.
 func (e *DocEngine) GlobalStats() index.Stats { return e.global }
 
+// SetWorkers sets the broker's fan-out width: each query's partition
+// evaluations run on up to n goroutines. n = 1 is the serial broker,
+// n <= 0 resets to GOMAXPROCS. Any width produces identical results and
+// accounting; only wall-clock time changes.
+func (e *DocEngine) SetWorkers(n int) { e.workers = n }
+
+// Workers reports the configured fan-out width (0 = GOMAXPROCS).
+func (e *DocEngine) Workers() int { return e.workers }
+
 // SetDown marks a query processor as failed (true) or recovered (false);
 // the broker skips failed processors and flags the answer Degraded — the
 // paper's "the system might still be able to answer queries without
 // using all the sub-collections".
-func (e *DocEngine) SetDown(p int, down bool) { e.downs[p] = down }
+func (e *DocEngine) SetDown(p int, down bool) {
+	e.mu.Lock()
+	e.downs[p] = down
+	e.mu.Unlock()
+}
 
 // BusyMs returns accumulated per-processor busy time — the Figure 2
 // measurement.
 func (e *DocEngine) BusyMs() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]float64(nil), e.busyMs...)
 }
 
 // ResetBusy clears the busy-load accounting.
 func (e *DocEngine) ResetBusy() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i := range e.busyMs {
 		e.busyMs[i] = 0
 	}
@@ -120,13 +150,19 @@ type DocQueryOptions struct {
 	Conjunctive bool
 }
 
+// partEval is one partition's contribution, produced by a worker and
+// consumed serially at the gather point.
+type partEval struct {
+	rs []rank.Result
+	es rank.EvalStats
+}
+
 // Query evaluates terms and returns the merged top-k with full resource
 // accounting.
 func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
-	e.queries++
 	var qr QueryResult
 
 	// Choose target partitions.
@@ -143,6 +179,8 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 			targets = append(targets, p)
 		}
 	}
+	e.mu.Lock()
+	e.queries++
 	live := targets[:0]
 	for _, p := range targets {
 		if e.downs[p] {
@@ -151,66 +189,70 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 		}
 		live = append(live, p)
 	}
+	e.mu.Unlock()
 	targets = live
 	qr.ServersContacted = len(targets)
 	if len(targets) == 0 {
 		return qr
 	}
 
-	// Round 1 (two-round protocol only): gather local stats per term.
-	var scorers []*rank.Scorer
+	// Round 1 (two-round protocol only): gather local stats per term,
+	// one scatter over the worker pool.
+	scorers := make([]*rank.Scorer, len(targets))
 	var round1Max float64
 	switch opt.Stats {
 	case GlobalTwoRound:
 		qr.Rounds = 2
-		var parts []index.Stats
-		for _, p := range targets {
-			parts = append(parts, e.parts[p].LocalStats(terms))
-			// Stats messages are tiny; the round still costs a LAN RTT.
-			qr.BytesTransferred += int64(16 * len(terms))
-		}
-		// Collection-wide doc count and lengths come from every
-		// partition regardless of term presence.
+		parts := make([]index.Stats, len(targets))
+		conc.Do(len(targets), e.workers, func(i int) {
+			parts[i] = e.parts[targets[i]].LocalStats(terms)
+		})
+		// Stats messages are tiny; the round still costs a LAN RTT.
+		qr.BytesTransferred += int64(16 * len(terms) * len(targets))
 		merged := index.MergeStats(parts...)
 		// NumDocs/TotalLen must cover the full engine, not just the
-		// contacted partitions' term stats: recompute from all parts.
-		merged.NumDocs = 0
-		merged.TotalLen = 0
-		for _, ix := range e.parts {
-			merged.NumDocs += ix.NumDocs()
-			merged.TotalLen += ix.TotalLen()
-		}
+		// contacted partitions' term stats: reuse the engine-wide
+		// figures precomputed at construction instead of re-walking
+		// every partition on every query.
+		merged.NumDocs = e.global.NumDocs
+		merged.TotalLen = e.global.TotalLen
 		s := rank.NewScorer(rank.FromGlobal(merged))
-		for range targets {
-			scorers = append(scorers, s)
+		for i := range scorers {
+			scorers[i] = s
 		}
 		round1Max = e.lanMs
 	case GlobalPrecomputed:
 		qr.Rounds = 1
 		s := rank.NewScorer(rank.FromGlobal(e.global))
-		for range targets {
-			scorers = append(scorers, s)
+		for i := range scorers {
+			scorers[i] = s
 		}
 	default: // LocalOnly
 		qr.Rounds = 1
-		for _, p := range targets {
-			scorers = append(scorers, rank.NewScorer(rank.FromIndex(e.parts[p])))
-		}
+		conc.Do(len(targets), e.workers, func(i int) {
+			scorers[i] = rank.NewScorer(rank.FromIndex(e.parts[targets[i]]))
+		})
 	}
 
-	// Round 2: evaluate on each partition; the broker waits for the
-	// slowest (the paper: "the response time ... depends on the response
-	// time of its slowest component").
-	var lists [][]rank.Result
-	var slowest float64
-	for i, p := range targets {
-		var rs []rank.Result
-		var es rank.EvalStats
+	// Round 2: scatter the evaluation across the worker pool; the broker
+	// waits for the slowest (the paper: "the response time ... depends
+	// on the response time of its slowest component"). Each worker
+	// writes only its own slot; the gather below aggregates in target
+	// order, so accounting matches the serial broker exactly.
+	evals := make([]partEval, len(targets))
+	conc.Do(len(targets), e.workers, func(i int) {
+		p := targets[i]
 		if opt.Conjunctive {
-			rs, es = rank.EvaluateAND(e.parts[p], scorers[i], terms, opt.K)
+			evals[i].rs, evals[i].es = rank.EvaluateAND(e.parts[p], scorers[i], terms, opt.K)
 		} else {
-			rs, es = rank.EvaluateOR(e.parts[p], scorers[i], terms, opt.K)
+			evals[i].rs, evals[i].es = rank.EvaluateOR(e.parts[p], scorers[i], terms, opt.K)
 		}
+	})
+	lists := make([][]rank.Result, len(targets))
+	var slowest float64
+	e.mu.Lock()
+	for i, p := range targets {
+		es := evals[i].es
 		service := e.cost.ServiceMs(es.PostingsDecoded)
 		e.busyMs[p] += service
 		if t := e.lanMs + service; t > slowest {
@@ -219,9 +261,10 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 		qr.PostingsDecoded += es.PostingsDecoded
 		qr.ListsAccessed += es.ListsAccessed
 		qr.PostingBytesRead += es.BytesRead
-		qr.BytesTransferred += resultBytes(len(rs))
-		lists = append(lists, rs)
+		qr.BytesTransferred += resultBytes(len(evals[i].rs))
+		lists[i] = evals[i].rs
 	}
+	e.mu.Unlock()
 	qr.Results = rank.MergeResults(opt.K, lists...)
 	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval + reply
 	return qr

@@ -5,6 +5,7 @@ import (
 
 	"dwr/internal/cache"
 	"dwr/internal/cluster"
+	"dwr/internal/conc"
 	"dwr/internal/rank"
 )
 
@@ -96,6 +97,11 @@ type MultiSite struct {
 	// OffloadThreshold is the utilization of the nearest site above
 	// which load-aware routing diverts the query (e.g. 0.7).
 	OffloadThreshold float64
+	// Workers bounds the fan-out of QueryIncremental's per-site
+	// evaluations (0 = GOMAXPROCS, 1 = serial). Results are identical
+	// at any width: site engines are independent, and the stateful WAN
+	// latency model is only consulted serially at the gather point.
+	Workers int
 
 	rrNext int
 }
@@ -269,18 +275,30 @@ type IncrementalBatch struct {
 // every up site evaluates the query; results stream back in order of
 // site latency, and each batch is the merged top-k so far. The first
 // batch arrives at the fastest site's latency rather than the slowest's.
+//
+// The per-site evaluations fan out over a worker pool (sites are full
+// replicas with independent engines); the WAN latency draws — which
+// consume the network model's RNG — happen serially in site order at
+// the gather, so the batch timeline is deterministic at any Workers.
 func (m *MultiSite) QueryIncremental(terms []string, region int, atHours float64, k int) []IncrementalBatch {
 	type arrival struct {
 		site int
 		ms   float64
 		res  []rank.Result
 	}
-	var arrivals []arrival
+	var ups []*Site
 	for _, s := range m.Sites {
-		if !s.UpAt(atHours) {
-			continue
+		if s.UpAt(atHours) {
+			ups = append(ups, s)
 		}
-		qr := s.Engine.Query(terms, DocQueryOptions{K: k, Stats: GlobalPrecomputed})
+	}
+	answers := make([]QueryResult, len(ups))
+	conc.Do(len(ups), m.Workers, func(i int) {
+		answers[i] = ups[i].Engine.Query(terms, DocQueryOptions{K: k, Stats: GlobalPrecomputed})
+	})
+	arrivals := make([]arrival, 0, len(ups))
+	for i, s := range ups {
+		qr := answers[i]
 		ms := m.Net.Latency(region, s.Region, 64) + qr.LatencyMs +
 			m.Net.Latency(s.Region, region, int(resultBytes(len(qr.Results))))
 		arrivals = append(arrivals, arrival{site: s.ID, ms: ms, res: qr.Results})

@@ -1,6 +1,7 @@
 package qproc
 
 import (
+	"dwr/internal/conc"
 	"dwr/internal/rank"
 )
 
@@ -12,23 +13,36 @@ import (
 // delta+varint compressed) decides the communication bill.
 
 // QueryPhrase evaluates an exact-phrase query on the document-partitioned
-// engine. Positions stay inside each partition.
+// engine. Positions stay inside each partition; evaluation fans out over
+// the broker's worker pool like Query.
 func (e *DocEngine) QueryPhrase(terms []string, k int) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
-	e.queries++
 	var qr QueryResult
 	scorer := rank.NewScorer(rank.FromGlobal(e.global))
-	var lists [][]rank.Result
-	var slowest float64
+	e.mu.Lock()
+	e.queries++
+	targets := make([]int, 0, len(e.parts))
 	for p := range e.parts {
 		if e.downs[p] {
 			qr.Degraded = true
 			continue
 		}
-		qr.ServersContacted++
-		rs, es := rank.EvaluatePhrase(e.parts[p], scorer, terms, k)
+		targets = append(targets, p)
+	}
+	e.mu.Unlock()
+	qr.ServersContacted = len(targets)
+
+	evals := make([]partEval, len(targets))
+	conc.Do(len(targets), e.workers, func(i int) {
+		evals[i].rs, evals[i].es = rank.EvaluatePhrase(e.parts[targets[i]], scorer, terms, k)
+	})
+	lists := make([][]rank.Result, len(targets))
+	var slowest float64
+	e.mu.Lock()
+	for i, p := range targets {
+		es := evals[i].es
 		service := e.cost.ServiceMs(es.PostingsDecoded)
 		e.busyMs[p] += service
 		if t := e.lanMs + service; t > slowest {
@@ -37,9 +51,10 @@ func (e *DocEngine) QueryPhrase(terms []string, k int) QueryResult {
 		qr.PostingsDecoded += es.PostingsDecoded
 		qr.ListsAccessed += es.ListsAccessed
 		qr.PostingBytesRead += es.BytesRead
-		qr.BytesTransferred += resultBytes(len(rs))
-		lists = append(lists, rs)
+		qr.BytesTransferred += resultBytes(len(evals[i].rs))
+		lists[i] = evals[i].rs
 	}
+	e.mu.Unlock()
 	qr.Results = rank.MergeResults(k, lists...)
 	qr.LatencyMs = slowest + e.lanMs
 	qr.Rounds = 1
@@ -50,11 +65,19 @@ func (e *DocEngine) QueryPhrase(terms []string, k int) QueryResult {
 // partitioned pipeline. compressPositions selects the wire encoding of
 // the travelling candidate positions: raw 4-byte integers, or the
 // delta+varint encoding the paper recommends.
+//
+// Unlike Query, the phrase pipeline stays serial per query: each hop
+// prunes its posting scan by the candidate set the previous hop shipped
+// and aborts the route once the intersection empties, so hop h's work
+// genuinely depends on hop h-1's output. Only the accounting is
+// lock-guarded for concurrent callers.
 func (e *TermEngine) QueryPhrase(terms []string, k int, compressPositions bool) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
+	e.mu.Lock()
 	e.queries++
+	e.mu.Unlock()
 	var qr QueryResult
 	if len(terms) == 0 {
 		return qr
@@ -117,7 +140,9 @@ func (e *TermEngine) QueryPhrase(terms []string, k int, compressPositions bool) 
 			}
 		}
 		service := e.cost.ServiceMs(postings) + e.cost.AccumulatorMs(len(starts))
+		e.mu.Lock()
 		e.busyMs[s] += service
+		e.mu.Unlock()
 		latency += e.lanMs + service
 		qr.PostingsDecoded += postings
 		qr.PostingBytesRead += bytesRead

@@ -3,7 +3,9 @@ package qproc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"dwr/internal/conc"
 	"dwr/internal/index"
 	"dwr/internal/partition"
 	"dwr/internal/rank"
@@ -15,20 +17,32 @@ import (
 // visits only the servers owning its terms, in a pipeline, each adding
 // its terms' score contributions to a travelling accumulator set, and
 // the last server extracts the top-k.
+//
+// Wall-clock execution fans the per-server posting scans out over a
+// bounded worker pool: score contributions are additive, so each server
+// computes its local delta map in parallel and the broker folds the
+// deltas into the travelling accumulator in route order at the gather
+// point. The simulated cost model still charges the pipeline shape —
+// per-hop accumulator sizes, latency as the SUM of hop times — so the
+// paper's comparison against scatter-gather is unchanged at any worker
+// count.
 type TermEngine struct {
 	cost    CostModel
 	lanMs   float64
 	tp      partition.TermPartition
 	servers []*index.Index
 	scorer  *rank.Scorer // term-partitioned servers know exact global stats
+	workers int
+	mu      sync.Mutex
 	busyMs  []float64
 	queries int
 }
 
 // NewTermEngine builds per-server term-sliced indexes from docs under
-// the given term partition. Every server's index carries the full
-// document table (with true document lengths) but only its own terms'
-// postings, matching the vertical slicing of Figure 1.
+// the given term partition; the K server indexes are constructed
+// concurrently. Every server's index carries the full document table
+// (with true document lengths) but only its own terms' postings,
+// matching the vertical slicing of Figure 1.
 func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartition) (*TermEngine, error) {
 	if tp.K <= 0 {
 		return nil, fmt.Errorf("qproc: term partition with no servers")
@@ -46,17 +60,17 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 		}
 	}
 	e := &TermEngine{
-		cost:   DefaultCostModel(),
-		lanMs:  0.3,
-		tp:     tp,
-		busyMs: make([]float64, tp.K),
+		cost:    DefaultCostModel(),
+		lanMs:   0.3,
+		tp:      tp,
+		workers: DefaultWorkers(),
+		busyMs:  make([]float64, tp.K),
 	}
-	var stats []index.Stats
-	for _, b := range builders {
-		ix := b.Build()
-		e.servers = append(e.servers, ix)
-		stats = append(stats, ix.LocalStats(nil))
-	}
+	e.servers = index.BuildAll(builders, e.workers)
+	stats := make([]index.Stats, len(e.servers))
+	conc.Do(len(e.servers), e.workers, func(i int) {
+		stats[i] = e.servers[i].LocalStats(nil)
+	})
 	merged := index.MergeStats(stats...)
 	// Every server indexed every document, so doc counts were multiplied
 	// K times by the merge; correct with any single server's view.
@@ -69,18 +83,48 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 // K returns the number of term servers.
 func (e *TermEngine) K() int { return len(e.servers) }
 
+// SetWorkers sets the per-query fan-out width (1 = serial, <=0 =
+// GOMAXPROCS). Results and accounting are identical at any width.
+func (e *TermEngine) SetWorkers(n int) { e.workers = n }
+
+// Workers reports the configured fan-out width (0 = GOMAXPROCS).
+func (e *TermEngine) Workers() int { return e.workers }
+
 // BusyMs returns accumulated per-server busy time — the right-hand side
 // of Figure 2.
 func (e *TermEngine) BusyMs() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]float64(nil), e.busyMs...)
 }
 
 // ResetBusy clears the busy-load accounting.
 func (e *TermEngine) ResetBusy() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i := range e.busyMs {
 		e.busyMs[i] = 0
 	}
 	e.queries = 0
+}
+
+// accEntry is one posting's score contribution, recorded in scan order
+// so the gather can replay the exact addition sequence of the serial
+// pipeline (floating-point addition is not associative; folding
+// per-server sums first would change low-order bits).
+type accEntry struct {
+	doc   int // external document ID
+	delta float64
+}
+
+// hopEval is one term server's locally computed contribution: the
+// per-posting score deltas its terms add to the travelling accumulator,
+// plus the resource counters the gather folds in route order.
+type hopEval struct {
+	entries   []accEntry
+	postings  int
+	lists     int
+	bytesRead int64
 }
 
 // Query evaluates terms through the pipeline and returns the top-k.
@@ -88,23 +132,24 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
-	e.queries++
 	var qr QueryResult
 	route := e.tp.PartsOf(terms)
 	qr.ServersContacted = len(route)
 	qr.Rounds = len(route) // pipeline hops
 	if len(route) == 0 {
+		e.mu.Lock()
+		e.queries++
+		e.mu.Unlock()
 		return qr
 	}
 
-	// The accumulator travels server to server; doc ordinals are shared
-	// because every server indexed the same document list.
-	acc := make(map[int]float64)
-	latency := 0.0
-	for _, s := range route {
+	// Scatter: every visited server scans its own terms' postings into a
+	// private contribution list, preserving term-then-posting order.
+	hops := make([]hopEval, len(route))
+	conc.Do(len(route), e.workers, func(i int) {
+		s := route[i]
 		ix := e.servers[s]
-		postings := 0
-		var bytesRead int64
+		h := &hops[i]
 		for _, t := range dedupTerms(terms) {
 			if e.tp.Assign[t] != s {
 				continue
@@ -113,24 +158,44 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 			if it == nil {
 				continue
 			}
-			bytesRead += int64(ix.PostingBytes(t))
-			qr.ListsAccessed++
+			h.bytesRead += int64(ix.PostingBytes(t))
+			h.lists++
 			idf := e.scorer.IDF(t)
 			for it.Next() {
-				postings++
+				h.postings++
 				p := it.Posting()
-				acc[ix.ExtID(p.Doc)] += e.scorer.Term(p.TF, ix.DocLen(p.Doc), idf)
+				h.entries = append(h.entries, accEntry{
+					doc:   ix.ExtID(p.Doc),
+					delta: e.scorer.Term(p.TF, ix.DocLen(p.Doc), idf),
+				})
 			}
 		}
-		service := e.cost.ServiceMs(postings) + e.cost.AccumulatorMs(len(acc))
+	})
+
+	// Gather: rebuild the travelling accumulator hop by hop, in route
+	// order, charging each hop the accumulator size it would have seen —
+	// the communication overhead Section 5 highlights. Doc ordinals are
+	// shared because every server indexed the same document list.
+	acc := make(map[int]float64)
+	latency := 0.0
+	e.mu.Lock()
+	e.queries++
+	for i, s := range route {
+		h := &hops[i]
+		for _, en := range h.entries {
+			acc[en.doc] += en.delta
+		}
+		service := e.cost.ServiceMs(h.postings) + e.cost.AccumulatorMs(len(acc))
 		e.busyMs[s] += service
 		latency += e.lanMs + service
-		qr.PostingsDecoded += postings
-		qr.PostingBytesRead += bytesRead
+		qr.ListsAccessed += h.lists
+		qr.PostingsDecoded += h.postings
+		qr.PostingBytesRead += h.bytesRead
 		// The partially-resolved query (accumulator) moves to the next
-		// server — the communication overhead Section 5 highlights.
+		// server.
 		qr.BytesTransferred += resultBytes(len(acc))
 	}
+	e.mu.Unlock()
 	latency += e.lanMs // final answer back to the broker
 
 	rs := make([]rank.Result, 0, len(acc))

@@ -1,0 +1,25 @@
+package qproc
+
+import "sync/atomic"
+
+// defaultWorkers is the fan-out width newly constructed engines start
+// with; 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the broker fan-out width that newly
+// constructed engines (DocEngine, TermEngine) start with: 1 forces the
+// serial broker, 0 restores GOMAXPROCS. Existing engines are
+// unaffected; use their SetWorkers method. Command-line tools expose
+// this as a -workers flag so every experiment can be replayed serially
+// or in parallel without code changes — results are identical either
+// way, by the gather-point determinism contract (see internal/conc).
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers reports the current engine-construction default
+// (0 = GOMAXPROCS).
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }

@@ -1,0 +1,106 @@
+package rank
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dwr/internal/index"
+)
+
+// bigIndex builds an index large enough that evaluation cycles the
+// pooled scratch through realloc/reuse paths.
+func bigIndex(seed int64, n, v int) *index.Index {
+	rng := rand.New(rand.NewSource(seed))
+	b := index.NewBuilder(index.DefaultOptions())
+	for d := 0; d < n; d++ {
+		l := 10 + rng.Intn(40)
+		terms := make([]string, l)
+		for j := range terms {
+			terms[j] = fmt.Sprintf("t%03d", rng.Intn(v))
+		}
+		b.AddDocument(d, terms)
+	}
+	return b.Build()
+}
+
+// TestPooledScratchReuseDeterministic re-runs the same query mix many
+// times: pooled scratch must never leak state between evaluations, so
+// every repetition returns the identical answer.
+func TestPooledScratchReuseDeterministic(t *testing.T) {
+	ix := bigIndex(9, 400, 120)
+	s := NewScorer(FromIndex(ix))
+	queries := [][]string{
+		{"t001"},
+		{"t001", "t002", "t003"},
+		{"t005", "t005", "t005"}, // duplicates exercise the dedup map
+		{"t010", "missing", "t011"},
+		{"t020", "t021", "t022", "t023", "t024"},
+	}
+	type key struct {
+		q    int
+		conj bool
+	}
+	want := make(map[key][]Result)
+	for qi, q := range queries {
+		rsOR, _ := EvaluateOR(ix, s, q, 10)
+		rsAND, _ := EvaluateAND(ix, s, q, 10)
+		want[key{qi, false}] = rsOR
+		want[key{qi, true}] = rsAND
+	}
+	for rep := 0; rep < 50; rep++ {
+		for qi, q := range queries {
+			rsOR, _ := EvaluateOR(ix, s, q, 10)
+			if !reflect.DeepEqual(want[key{qi, false}], rsOR) {
+				t.Fatalf("rep %d query %v OR diverged after scratch reuse", rep, q)
+			}
+			rsAND, _ := EvaluateAND(ix, s, q, 10)
+			if !reflect.DeepEqual(want[key{qi, true}], rsAND) {
+				t.Fatalf("rep %d query %v AND diverged after scratch reuse", rep, q)
+			}
+		}
+	}
+}
+
+// TestConcurrentEvaluation runs OR and AND evaluation from many
+// goroutines against one index; under -race this pins that the pooled
+// scratch is goroutine-local and the index read path is lock-free safe.
+func TestConcurrentEvaluation(t *testing.T) {
+	ix := bigIndex(13, 500, 100)
+	s := NewScorer(FromIndex(ix))
+	queries := make([][]string, 40)
+	rng := rand.New(rand.NewSource(14))
+	for i := range queries {
+		n := 1 + rng.Intn(4)
+		q := make([]string, n)
+		for j := range q {
+			q[j] = fmt.Sprintf("t%03d", rng.Intn(100))
+		}
+		queries[i] = q
+	}
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		want[i], _ = EvaluateOR(ix, s, q, 10)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				for i, q := range queries {
+					rs, _ := EvaluateOR(ix, s, q, 10)
+					if !reflect.DeepEqual(want[i], rs) {
+						t.Errorf("concurrent OR of %v diverged", q)
+						return
+					}
+					EvaluateAND(ix, s, q, 10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"sync"
 
 	"dwr/internal/index"
 )
@@ -85,41 +86,94 @@ type EvalStats struct {
 	BytesRead       int64 // encoded posting bytes of the lists accessed
 }
 
+// evalCursor pairs a posting iterator with its term's precomputed IDF.
+type evalCursor struct {
+	it  *index.Iterator
+	idf float64
+}
+
+// orHead tracks one cursor's current document in the OR merge.
+type orHead struct {
+	doc int32
+	i   int
+}
+
+// evalScratch is the pooled per-evaluation working set: iterator
+// storage, cursor and merge-head slices, the dedup set, and the top-k
+// heap buffer. The broker evaluates partitions on parallel goroutines
+// and every query allocates these afresh otherwise, so reuse here cuts
+// most of the per-query garbage on the hot path. Nothing handed back to
+// callers may alias the scratch (topK.results copies).
+type evalScratch struct {
+	its     []index.Iterator
+	cursors []evalCursor
+	heads   []orHead
+	seen    map[string]bool
+	uniq    []string
+	heap    resultHeap
+}
+
+var evalPool = sync.Pool{New: func() interface{} {
+	return &evalScratch{seen: make(map[string]bool)}
+}}
+
+// dedup keeps the first occurrence of each term, in query order, in the
+// scratch's reusable buffer.
+func (sc *evalScratch) dedup(terms []string) []string {
+	clear(sc.seen)
+	sc.uniq = sc.uniq[:0]
+	for _, t := range terms {
+		if !sc.seen[t] {
+			sc.seen[t] = true
+			sc.uniq = append(sc.uniq, t)
+		}
+	}
+	return sc.uniq
+}
+
+// iters returns n stable Iterator slots. Allocating up-front (never
+// appending afterwards) keeps the *Iterator pointers held by cursors
+// valid for the whole evaluation.
+func (sc *evalScratch) iters(n int) []index.Iterator {
+	if cap(sc.its) < n {
+		sc.its = make([]index.Iterator, n)
+	}
+	return sc.its[:n]
+}
+
 // EvaluateOR scores the disjunction of the query terms over ix
 // (document-at-a-time) and returns the top k results by score. Ties
 // break by ascending external ID so rankings are deterministic.
 func EvaluateOR(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, EvalStats) {
 	var es EvalStats
-	type cursor struct {
-		it  *index.Iterator
-		idf float64
-	}
-	var cursors []cursor
-	for _, t := range dedup(terms) {
-		it := ix.Postings(t)
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	uniq := sc.dedup(terms)
+	its := sc.iters(len(uniq))
+	sc.cursors = sc.cursors[:0]
+	for _, t := range uniq {
+		it := ix.PostingsInto(&its[len(sc.cursors)], t)
 		if it == nil {
 			continue
 		}
 		es.BytesRead += int64(ix.PostingBytes(t))
 		es.ListsAccessed++
-		cursors = append(cursors, cursor{it: it, idf: s.IDF(t)})
+		sc.cursors = append(sc.cursors, evalCursor{it: it, idf: s.IDF(t)})
 	}
+	cursors := sc.cursors
 	if len(cursors) == 0 {
 		return nil, es
 	}
 	// Advance all iterators merging by doc.
-	type head struct {
-		doc int32
-		i   int
-	}
-	var heads []head
+	sc.heads = sc.heads[:0]
 	for i := range cursors {
 		if cursors[i].it.Next() {
 			es.PostingsDecoded++
-			heads = append(heads, head{doc: cursors[i].it.Posting().Doc, i: i})
+			sc.heads = append(sc.heads, orHead{doc: cursors[i].it.Posting().Doc, i: i})
 		}
 	}
-	tk := newTopK(k)
+	tk := &topK{k: k, rs: sc.heap[:0]}
+	heads := sc.heads
 	for len(heads) > 0 {
 		// Find minimum doc among heads.
 		minDoc := heads[0].doc
@@ -128,23 +182,29 @@ func EvaluateOR(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, Ev
 				minDoc = h.doc
 			}
 		}
+		// Score minDoc and compact the surviving heads in place; the
+		// write index trails the read index, so order is preserved and
+		// no per-round slice is allocated.
 		score := 0.0
-		var next []head
+		w := 0
 		for _, h := range heads {
 			c := &cursors[h.i]
 			if h.doc == minDoc {
 				score += s.Term(c.it.Posting().TF, ix.DocLen(minDoc), c.idf)
 				if c.it.Next() {
 					es.PostingsDecoded++
-					next = append(next, head{doc: c.it.Posting().Doc, i: h.i})
+					heads[w] = orHead{doc: c.it.Posting().Doc, i: h.i}
+					w++
 				}
 			} else {
-				next = append(next, h)
+				heads[w] = h
+				w++
 			}
 		}
 		tk.offer(Result{Doc: ix.ExtID(minDoc), Score: score})
-		heads = next
+		heads = heads[:w]
 	}
+	sc.heap = tk.rs[:0]
 	return tk.results(), es
 }
 
@@ -153,30 +213,34 @@ func EvaluateOR(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, Ev
 // skip pointers exist to reduce.
 func EvaluateAND(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, EvalStats) {
 	var es EvalStats
-	type cursor struct {
-		it  *index.Iterator
-		idf float64
-	}
-	uniq := dedup(terms)
-	cursors := make([]cursor, 0, len(uniq))
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	uniq := sc.dedup(terms)
+	its := sc.iters(len(uniq))
+	sc.cursors = sc.cursors[:0]
 	for _, t := range uniq {
-		it := ix.Postings(t)
+		it := ix.PostingsInto(&its[len(sc.cursors)], t)
 		if it == nil {
 			return nil, es // one missing term empties a conjunction
 		}
 		es.BytesRead += int64(ix.PostingBytes(t))
 		es.ListsAccessed++
-		cursors = append(cursors, cursor{it: it, idf: s.IDF(t)})
+		sc.cursors = append(sc.cursors, evalCursor{it: it, idf: s.IDF(t)})
 	}
+	cursors := sc.cursors
 	if len(cursors) == 0 {
 		return nil, es
 	}
 	// Rarest list first minimizes skips.
 	sort.Slice(cursors, func(i, j int) bool { return cursors[i].it.Count() < cursors[j].it.Count() })
 	driver := cursors[0]
-	tk := newTopK(k)
+	tk := &topK{k: k, rs: sc.heap[:0]}
+	finish := func() []Result {
+		sc.heap = tk.rs[:0]
+		return tk.results()
+	}
 	if !driver.it.Next() {
-		return nil, es
+		return finish(), es
 	}
 	es.PostingsDecoded++
 	for {
@@ -184,7 +248,7 @@ func EvaluateAND(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, E
 		match := true
 		for i := 1; i < len(cursors); i++ {
 			if !cursors[i].it.SkipTo(doc) {
-				return tk.results(), es
+				return finish(), es
 			}
 			es.PostingsDecoded++
 			if cursors[i].it.Posting().Doc != doc {
@@ -200,7 +264,7 @@ func EvaluateAND(ix *index.Index, s *Scorer, terms []string, k int) ([]Result, E
 			tk.offer(Result{Doc: ix.ExtID(doc), Score: score})
 		}
 		if !driver.it.Next() {
-			return tk.results(), es
+			return finish(), es
 		}
 		es.PostingsDecoded++
 	}
