@@ -22,8 +22,27 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
 	workers := flag.Int("workers", 0, "engine fan-out width (0 = GOMAXPROCS, 1 = serial); every experiment reports identical numbers at any value")
+	cacheCap := flag.Int("cachecap", 0, "give every constructed engine a broker result cache of this many entries (0 = off, the default: cached answers change the latency numbers)")
+	cacheTTL := flag.Int("cachettl", 0, "result-cache entry TTL in queries (0 = never expires)")
+	cacheShards := flag.Int("cacheshards", 0, "result-cache lock shards (0 = 8)")
+	cachePolicy := flag.String("cachepolicy", "lru", "result-cache replacement for -cachecap: lru | lfu")
+	plCache := flag.Int64("plcache", 0, "per-server posting-list cache in bytes of decoded postings (0 = off; results are identical, only decode work changes)")
 	flag.Parse()
 	qproc.SetDefaultWorkers(*workers)
+	if *cacheCap > 0 {
+		policy, err := qproc.ParseCachePolicy(*cachePolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(2)
+		}
+		qproc.SetDefaultResultCache(&qproc.ResultCacheConfig{
+			Capacity:   *cacheCap,
+			Shards:     *cacheShards,
+			TTLQueries: *cacheTTL,
+			Policy:     policy,
+		})
+	}
+	qproc.SetDefaultPostingsCacheBytes(*plCache)
 
 	if *list {
 		for _, e := range experiments.Registry() {

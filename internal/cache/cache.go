@@ -204,20 +204,35 @@ func (c *LFU[V]) Put(key string, value V, now float64) {
 		return
 	}
 	if len(c.m) >= c.cap {
-		// Evict the least recently used node of the minimum frequency.
-		l := c.buckets[c.minFreq]
-		for l == nil || l.empty() {
-			c.minFreq++
-			l = c.buckets[c.minFreq]
-		}
-		victim := l.tail
-		l.unlink(victim)
-		delete(c.m, victim.key)
+		c.evictOne()
 	}
 	n := &lfuNode[V]{key: key, entry: Entry[V]{Value: value, StoredAt: now}, freq: 1}
 	c.m[key] = n
 	c.bucket(1).pushFront(n)
 	c.minFreq = 1
+}
+
+// evictOne removes the least recently used node of the minimum frequency.
+// minFreq may lag behind the true minimum (an eviction or bump emptied
+// its bucket), so the scan walks upward; emptied buckets are deleted so
+// the walk — and the buckets map — stay bounded by the number of live
+// frequencies rather than every frequency ever reached.
+func (c *LFU[V]) evictOne() {
+	l := c.buckets[c.minFreq]
+	for l == nil || l.empty() {
+		delete(c.buckets, c.minFreq)
+		c.minFreq++
+		l = c.buckets[c.minFreq]
+	}
+	victim := l.tail
+	l.unlink(victim)
+	if l.empty() {
+		// Reset the scan: the next eviction must not start from a bucket
+		// that no longer exists, and the empty list must not leak.
+		delete(c.buckets, c.minFreq)
+		c.minFreq++
+	}
+	delete(c.m, victim.key)
 }
 
 func (c *LFU[V]) bucket(f int) *lfuList[V] {
@@ -232,8 +247,13 @@ func (c *LFU[V]) bucket(f int) *lfuList[V] {
 func (c *LFU[V]) bump(n *lfuNode[V]) {
 	l := c.buckets[n.freq]
 	l.unlink(n)
-	if l.empty() && c.minFreq == n.freq {
-		c.minFreq = n.freq + 1
+	if l.empty() {
+		// Drop the emptied bucket; a hot key climbing the frequency
+		// ladder must not leave one dead list per step behind it.
+		delete(c.buckets, n.freq)
+		if c.minFreq == n.freq {
+			c.minFreq = n.freq + 1
+		}
 	}
 	n.freq++
 	c.bucket(n.freq).pushFront(n)

@@ -87,6 +87,121 @@ func TestLFUTiebreakLRU(t *testing.T) {
 	}
 }
 
+// TestLFUMinFreqWalk pins the eviction scan directly: after the hottest
+// key empties its frequency bucket via bump, and after evictions empty
+// the minimum bucket, the walk must still find the true minimum-
+// frequency victim, and the buckets map must not accumulate one dead
+// list per frequency ever reached.
+func TestLFUMinFreqWalk(t *testing.T) {
+	c := NewLFU[int](3)
+	c.Put("hot", 1, 0)
+	c.Put("mid", 2, 0)
+	c.Put("cold", 3, 0)
+	// Climb hot far up the frequency ladder; each bump empties and
+	// recreates a single-node bucket.
+	for i := 0; i < 1000; i++ {
+		c.Get("hot")
+	}
+	c.Get("mid") // mid freq 2; cold stays the unique freq-1 node
+	if got := len(c.buckets); got > 3 {
+		t.Fatalf("buckets map holds %d lists for 3 live frequencies; empty buckets leak", got)
+	}
+	c.Put("new1", 4, 0) // must evict cold (freq 1), not mid or hot
+	if _, ok := c.m["cold"]; ok {
+		t.Fatal("eviction skipped the minimum-frequency key")
+	}
+	if _, ok := c.m["mid"]; !ok {
+		t.Fatal("mid evicted despite higher frequency")
+	}
+	// new1 (freq 1) now alone in bucket 1; evicting it empties the
+	// minFreq bucket. The NEXT eviction must re-walk from the emptied
+	// bucket to mid's bucket without getting stuck or picking hot.
+	c.Put("new2", 5, 0) // evicts new1, bucket 1 empties
+	if _, ok := c.m["new1"]; ok {
+		t.Fatal("new1 should have been evicted")
+	}
+	c.Get("new2") // freq 2: bucket 1 empties again via bump
+	c.Put("new3", 6, 0)
+	// new3 needed a slot; the minimum frequency was 2 (mid and new2) and
+	// mid is its least recently used node.
+	if _, ok := c.m["mid"]; ok {
+		t.Fatal("mid should be the LRU victim of the minimum frequency")
+	}
+	if _, ok := c.m["new2"]; !ok {
+		t.Fatal("new2 evicted despite a more recent bump than mid")
+	}
+	if _, ok := c.m["hot"]; !ok {
+		t.Fatal("hot evicted despite being the most frequent key")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+// TestLFUDifferential compares the bucketed LFU against a brute-force
+// reference (O(n) min-scan with a logical recency clock) over random
+// operation streams — the regression net for the minFreq bookkeeping.
+func TestLFUDifferential(t *testing.T) {
+	type refEntry struct {
+		val   int
+		freq  int
+		touch int64
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capn := 1 + rng.Intn(5)
+		c := NewLFU[int](capn)
+		ref := make(map[string]*refEntry)
+		clock := int64(0)
+		refPut := func(k string, v int) {
+			clock++
+			if e, ok := ref[k]; ok {
+				e.val, e.freq, e.touch = v, e.freq+1, clock
+				return
+			}
+			if len(ref) >= capn {
+				var victim string
+				bestF, bestT := int(^uint(0)>>1), int64(^uint64(0)>>1)
+				for key, e := range ref {
+					if e.freq < bestF || (e.freq == bestF && e.touch < bestT) {
+						victim, bestF, bestT = key, e.freq, e.touch
+					}
+				}
+				delete(ref, victim)
+			}
+			ref[k] = &refEntry{val: v, freq: 1, touch: clock}
+		}
+		refGet := func(k string) (int, bool) {
+			e, ok := ref[k]
+			if !ok {
+				return 0, false
+			}
+			clock++
+			e.freq++
+			e.touch = clock
+			return e.val, true
+		}
+		for op := 0; op < 2000; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(8))
+			if rng.Intn(2) == 0 {
+				wantV, wantOK := refGet(k)
+				e, ok := c.Get(k)
+				if ok != wantOK || (ok && e.Value != wantV) {
+					t.Fatalf("seed=%d op=%d Get(%s) = (%v,%v), reference (%v,%v)",
+						seed, op, k, e.Value, ok, wantV, wantOK)
+				}
+			} else {
+				v := rng.Intn(1000)
+				c.Put(k, v, float64(op))
+				refPut(k, v)
+			}
+			if c.Len() != len(ref) {
+				t.Fatalf("seed=%d op=%d: len %d, reference %d", seed, op, c.Len(), len(ref))
+			}
+		}
+	}
+}
+
 func TestSDCStaticNeverEvicted(t *testing.T) {
 	c := NewSDC[int]([]string{"top1", "top2"}, 2)
 	c.Put("top1", 1, 0)

@@ -1,0 +1,180 @@
+package cache
+
+// SizedLFU is an LFU cache bounded by the total *cost* of its entries
+// (e.g. bytes of decoded postings) instead of an entry count — the right
+// shape for posting-list caches, where one stop-word list can weigh as
+// much as ten thousand tail terms. Eviction takes the least recently
+// used entry of the minimum frequency, repeatedly, until the new entry
+// fits. Entries costlier than the whole budget are simply not admitted
+// (caching them would flush everything for a certain re-eviction).
+type SizedLFU[V any] struct {
+	budget  int64
+	used    int64
+	cost    func(V) int64
+	m       map[string]*sizedNode[V]
+	buckets map[int]*sizedList[V]
+	minFreq int
+	hits    int
+	misses  int
+}
+
+type sizedNode[V any] struct {
+	key        string
+	entry      Entry[V]
+	cost       int64
+	freq       int
+	prev, next *sizedNode[V]
+}
+
+type sizedList[V any] struct {
+	head, tail *sizedNode[V]
+}
+
+func (l *sizedList[V]) pushFront(n *sizedNode[V]) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *sizedList[V]) unlink(n *sizedNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *sizedList[V]) empty() bool { return l.head == nil }
+
+// NewSizedLFU creates a cost-bounded LFU: the sum of cost(value) over
+// cached entries never exceeds budget. cost must be positive and stable
+// for a given value.
+func NewSizedLFU[V any](budget int64, cost func(V) int64) *SizedLFU[V] {
+	if budget < 1 {
+		budget = 1
+	}
+	return &SizedLFU[V]{
+		budget:  budget,
+		cost:    cost,
+		m:       make(map[string]*sizedNode[V]),
+		buckets: make(map[int]*sizedList[V]),
+	}
+}
+
+// Get implements Cache.
+func (c *SizedLFU[V]) Get(key string) (Entry[V], bool) {
+	n, ok := c.m[key]
+	if !ok {
+		c.misses++
+		var zero Entry[V]
+		return zero, false
+	}
+	c.hits++
+	c.bump(n)
+	return n.entry, true
+}
+
+// Put implements Cache. Oversized values (cost > budget) are ignored.
+func (c *SizedLFU[V]) Put(key string, value V, now float64) {
+	cost := c.cost(value)
+	if cost < 0 {
+		cost = 0
+	}
+	if n, ok := c.m[key]; ok {
+		c.used += cost - n.cost
+		n.entry = Entry[V]{Value: value, StoredAt: now}
+		n.cost = cost
+		c.bump(n)
+		// An in-place update can grow past the budget; shed min-freq
+		// entries until it fits again. The updated entry itself is a
+		// candidate — if it alone busts the budget it goes too, the
+		// same non-admission rule as the insert path.
+		for c.used > c.budget && len(c.m) > 0 {
+			c.evictOne()
+		}
+		return
+	}
+	if cost > c.budget {
+		return
+	}
+	for c.used+cost > c.budget && len(c.m) > 0 {
+		c.evictOne()
+	}
+	n := &sizedNode[V]{key: key, entry: Entry[V]{Value: value, StoredAt: now}, cost: cost, freq: 1}
+	c.m[key] = n
+	c.used += cost
+	c.bucketFor(1).pushFront(n)
+	c.minFreq = 1
+}
+
+// evictOne removes the least recently used node of the minimum
+// frequency, walking minFreq upward over emptied buckets exactly as the
+// LFU walk does (and deleting them, so the walk stays bounded).
+func (c *SizedLFU[V]) evictOne() {
+	l := c.buckets[c.minFreq]
+	for l == nil || l.empty() {
+		delete(c.buckets, c.minFreq)
+		c.minFreq++
+		l = c.buckets[c.minFreq]
+	}
+	c.remove(l.tail)
+}
+
+func (c *SizedLFU[V]) remove(n *sizedNode[V]) {
+	l := c.buckets[n.freq]
+	l.unlink(n)
+	if l.empty() {
+		delete(c.buckets, n.freq)
+		if c.minFreq == n.freq {
+			c.minFreq = n.freq + 1
+		}
+	}
+	c.used -= n.cost
+	delete(c.m, n.key)
+}
+
+func (c *SizedLFU[V]) bucketFor(f int) *sizedList[V] {
+	l, ok := c.buckets[f]
+	if !ok {
+		l = &sizedList[V]{}
+		c.buckets[f] = l
+	}
+	return l
+}
+
+func (c *SizedLFU[V]) bump(n *sizedNode[V]) {
+	l := c.buckets[n.freq]
+	l.unlink(n)
+	if l.empty() {
+		delete(c.buckets, n.freq)
+		if c.minFreq == n.freq {
+			c.minFreq = n.freq + 1
+		}
+	}
+	n.freq++
+	c.bucketFor(n.freq).pushFront(n)
+}
+
+// Len implements Cache.
+func (c *SizedLFU[V]) Len() int { return len(c.m) }
+
+// Stats implements Cache.
+func (c *SizedLFU[V]) Stats() (int, int) { return c.hits, c.misses }
+
+// UsedCost returns the summed cost of the cached entries.
+func (c *SizedLFU[V]) UsedCost() int64 { return c.used }
+
+// Budget returns the configured cost bound.
+func (c *SizedLFU[V]) Budget() int64 { return c.budget }

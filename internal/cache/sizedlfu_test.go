@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func byteCost(v []byte) int64 { return int64(len(v)) }
+
+func TestSizedLFUBudgetEnforced(t *testing.T) {
+	c := NewSizedLFU[[]byte](100, byteCost)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("t%d", i), make([]byte, 10), 0)
+	}
+	if c.UsedCost() > c.Budget() {
+		t.Fatalf("used %d exceeds budget %d", c.UsedCost(), c.Budget())
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d, want 10 entries of cost 10 under budget 100", c.Len())
+	}
+}
+
+func TestSizedLFUOversizedNotAdmitted(t *testing.T) {
+	c := NewSizedLFU[[]byte](64, byteCost)
+	c.Put("small", make([]byte, 16), 0)
+	c.Put("huge", make([]byte, 65), 0)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized insert evicted an existing entry despite non-admission")
+	}
+	if c.UsedCost() != 16 {
+		t.Fatalf("used = %d, want 16", c.UsedCost())
+	}
+}
+
+func TestSizedLFUEvictsMinFrequencyByBytes(t *testing.T) {
+	c := NewSizedLFU[[]byte](100, byteCost)
+	c.Put("hot", make([]byte, 40), 0)
+	c.Put("cold1", make([]byte, 30), 0)
+	c.Put("cold2", make([]byte, 30), 0)
+	for i := 0; i < 5; i++ {
+		c.Get("hot")
+	}
+	// 50 new bytes need both cold entries (freq 1) gone; hot (freq 6)
+	// must survive even though evicting it alone would free enough.
+	c.Put("new", make([]byte, 50), 0)
+	if _, ok := c.m["hot"]; !ok {
+		t.Fatal("hot evicted despite high frequency")
+	}
+	if _, ok := c.m["cold1"]; ok {
+		t.Fatal("cold1 should have been evicted")
+	}
+	if _, ok := c.m["cold2"]; ok {
+		t.Fatal("cold2 should have been evicted")
+	}
+	if c.UsedCost() != 90 {
+		t.Fatalf("used = %d, want 90", c.UsedCost())
+	}
+}
+
+func TestSizedLFUUpdateGrowsAndShrinks(t *testing.T) {
+	c := NewSizedLFU[[]byte](100, byteCost)
+	c.Put("a", make([]byte, 30), 0)
+	c.Put("b", make([]byte, 30), 0)
+	// Grow a in place past what fits alongside b: b (freq 1, older
+	// recency than the just-bumped a) must be shed.
+	c.Get("a")
+	c.Put("a", make([]byte, 90), 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("updated entry lost")
+	}
+	if _, ok := c.m["b"]; ok {
+		t.Fatal("b should have been evicted to fit a's growth")
+	}
+	if c.UsedCost() != 90 {
+		t.Fatalf("used = %d, want 90", c.UsedCost())
+	}
+	// Shrink back; b-sized entries fit again.
+	c.Put("a", make([]byte, 10), 2)
+	c.Put("b", make([]byte, 80), 2)
+	if c.UsedCost() != 90 || c.Len() != 2 {
+		t.Fatalf("used = %d len = %d after shrink", c.UsedCost(), c.Len())
+	}
+}
+
+func TestSizedLFUMinFreqWalkAfterChurn(t *testing.T) {
+	c := NewSizedLFU[[]byte](30, byteCost)
+	c.Put("hot", make([]byte, 10), 0)
+	for i := 0; i < 100; i++ {
+		c.Get("hot") // climbs the ladder, emptying bucket after bucket
+	}
+	if len(c.buckets) > 1 {
+		t.Fatalf("buckets map holds %d lists for 1 live frequency", len(c.buckets))
+	}
+	c.Put("x", make([]byte, 10), 0)
+	c.Put("y", make([]byte, 10), 0)
+	c.Put("z", make([]byte, 20), 0) // evicts x and y (freq 1), not hot
+	if _, ok := c.m["hot"]; !ok {
+		t.Fatal("hot evicted despite frequency 101")
+	}
+	if c.UsedCost() != 30 {
+		t.Fatalf("used = %d, want 30", c.UsedCost())
+	}
+}
+
+func TestSizedLFUStats(t *testing.T) {
+	c := NewSizedLFU[[]byte](10, byteCost)
+	c.Put("k", make([]byte, 4), 0)
+	c.Get("k")
+	c.Get("nope")
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d", h, m)
+	}
+	var _ Cache[[]byte] = c
+}

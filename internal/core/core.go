@@ -78,6 +78,30 @@ type Config struct {
 	// wall-clock time changes. (Partition-build concurrency follows
 	// qproc.SetDefaultWorkers, which the CLIs set from the same flag.)
 	Workers int
+	// Cache configures the two-level cache hierarchy (both levels
+	// disabled at zero value).
+	Cache CacheConfig
+}
+
+// CacheConfig sizes the engine's cache hierarchy: a broker-level result
+// cache and per-partition posting-list caches.
+type CacheConfig struct {
+	// Capacity enables the broker result cache when > 0 (total entries).
+	Capacity int
+	// Shards is the result cache's lock-domain count (0 = 8).
+	Shards int
+	// TTLQueries expires result entries after this many cache lookups
+	// (0 = never).
+	TTLQueries int
+	// Policy selects replacement. With qproc.CacheSDC the static set is
+	// warmed from the popularity head of a generated query-log sample.
+	Policy qproc.CachePolicy
+	// WarmQueries is the query-log sample size used to pick the SDC
+	// static set (0 picks 2000).
+	WarmQueries int
+	// PostingBytes enables per-partition posting-list caches when > 0
+	// (bytes of decoded postings per partition server).
+	PostingBytes int64
 }
 
 // DefaultConfig returns a laptop-scale end-to-end configuration.
@@ -184,6 +208,7 @@ func (e *Engine) partitionAndIndex() error {
 	}
 	q.SetWorkers(cfg.Workers)
 	e.Query = q
+	e.installCaches()
 	if e.Selector == nil {
 		var stats []index.Stats
 		for p := 0; p < q.K(); p++ {
@@ -192,6 +217,57 @@ func (e *Engine) partitionAndIndex() error {
 		e.Selector = selection.NewCORI(stats)
 	}
 	return nil
+}
+
+// installCaches wires the configured cache hierarchy onto the query
+// engine. For SDC the static set is warmed offline: a query-log sample
+// is generated against the same synthetic Web, and the most popular
+// keys of its head become the cache's permanent slots — the Fagni et
+// al. recipe, using history to pin what churn would otherwise evict.
+func (e *Engine) installCaches() {
+	cc := e.Config.Cache
+	if cc.Capacity > 0 {
+		rcfg := qproc.ResultCacheConfig{
+			Capacity:   cc.Capacity,
+			Shards:     cc.Shards,
+			Policy:     cc.Policy,
+			TTLQueries: cc.TTLQueries,
+		}
+		if cc.Policy == qproc.CacheSDC {
+			rcfg.StaticKeys = e.warmStaticKeys(cc.Capacity / 2)
+		}
+		e.Query.SetResultCache(qproc.NewResultCache(rcfg))
+	}
+	if cc.PostingBytes > 0 {
+		e.Query.SetPostingsCache(cc.PostingBytes)
+	}
+}
+
+// warmStaticKeys picks up to n SDC static keys from the head of a
+// query-log sample, rendered as the full cache keys Search produces
+// (two-round stats, default k).
+func (e *Engine) warmStaticKeys(n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	lcfg := querylog.DefaultConfig()
+	lcfg.Seed = e.Config.Seed + 29
+	lcfg.Total = e.Config.Cache.WarmQueries
+	if lcfg.Total <= 0 {
+		lcfg.Total = 2000
+	}
+	lcfg.Distinct = lcfg.Total / 8
+	if lcfg.Distinct < 50 {
+		lcfg.Distinct = 50
+	}
+	lg := querylog.Generate(e.Web, lcfg)
+	opt := qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalTwoRound}
+	keys := lg.TopKeys(n)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = qproc.DocCacheKey(strings.Fields(k), opt)
+	}
+	return out
 }
 
 // docVectors builds sparse term-ID vectors for k-means.

@@ -41,6 +41,13 @@ type Dynamic struct {
 	merges     int
 	mergedDocs int
 	lockHeldMs float64 // total wall time the write lock was held
+
+	// onChange hooks run after every completed mutation (Add, Delete,
+	// Flush), outside the write lock. Result caches register here so an
+	// index update invalidates their entries (generation bump) without
+	// the index knowing about caching.
+	hookMu   sync.Mutex
+	onChange []func()
 }
 
 // NewDynamic creates a dynamic index flushing every bufferCap documents
@@ -61,6 +68,27 @@ func NewDynamic(opts Options, bufferCap, radix int) *Dynamic {
 	}
 }
 
+// OnChange registers fn to run after every completed mutation (Add,
+// Delete, Flush). Hooks fire outside the index's write lock and must be
+// fast and non-blocking; the intended use is bumping a result cache's
+// generation counter.
+func (d *Dynamic) OnChange(fn func()) {
+	d.hookMu.Lock()
+	d.onChange = append(d.onChange, fn)
+	d.hookMu.Unlock()
+}
+
+// notifyChange runs the registered hooks. Callers must NOT hold d.mu —
+// a hook that queries the index back would deadlock otherwise.
+func (d *Dynamic) notifyChange() {
+	d.hookMu.Lock()
+	hooks := d.onChange
+	d.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Add indexes a document online. Duplicate IDs are rejected; so are
 // re-adds of a deleted document whose tombstoned copy still resides in a
 // segment (clearing the tombstone would resurrect the stale copy —
@@ -68,12 +96,14 @@ func NewDynamic(opts Options, bufferCap, radix int) *Dynamic {
 // practice for immutable-segment indexes).
 func (d *Dynamic) Add(ext int, terms []string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.bufByExt[ext] {
+		d.mu.Unlock()
 		return fmt.Errorf("index: document %d already present", ext)
 	}
 	if d.segmentContainsLocked(ext) {
-		if d.deleted[ext] {
+		tombstoned := d.deleted[ext]
+		d.mu.Unlock()
+		if tombstoned {
 			return fmt.Errorf("index: document %d is tombstoned but still resident in a segment; re-add under a new ID", ext)
 		}
 		return fmt.Errorf("index: document %d already present", ext)
@@ -83,6 +113,8 @@ func (d *Dynamic) Add(ext int, terms []string) error {
 	if len(d.buffer) >= d.bufferCap {
 		d.flushLocked()
 	}
+	d.mu.Unlock()
+	d.notifyChange()
 	return nil
 }
 
@@ -90,7 +122,7 @@ func (d *Dynamic) Add(ext int, terms []string) error {
 // and is physically dropped at the next merge touching its segment.
 func (d *Dynamic) Delete(ext int) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	removed := false
 	if d.bufByExt[ext] {
 		for i, doc := range d.buffer {
 			if doc.Ext == ext {
@@ -99,10 +131,14 @@ func (d *Dynamic) Delete(ext int) {
 			}
 		}
 		delete(d.bufByExt, ext)
-		return
-	}
-	if d.segmentContainsLocked(ext) {
+		removed = true
+	} else if d.segmentContainsLocked(ext) {
 		d.deleted[ext] = true
+		removed = true
+	}
+	d.mu.Unlock()
+	if removed {
+		d.notifyChange()
 	}
 }
 
@@ -110,8 +146,12 @@ func (d *Dynamic) Delete(ext int) {
 // freshness-critical query).
 func (d *Dynamic) Flush() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	flushed := len(d.buffer) > 0
 	d.flushLocked()
+	d.mu.Unlock()
+	if flushed {
+		d.notifyChange()
+	}
 }
 
 func (d *Dynamic) segmentContainsLocked(ext int) bool {

@@ -1,0 +1,106 @@
+package index
+
+import (
+	"sync"
+
+	"dwr/internal/cache"
+)
+
+// PostingMemBytes approximates the in-memory weight of one decoded
+// Posting (Doc + TF + the unused Pos slice header). The posting-list
+// cache budgets in these units so its capacity flag reads as bytes.
+const PostingMemBytes = 32
+
+// PostingsCache is the second cache level of the hierarchy in Section 5:
+// a per-partition-server cache of *decoded* posting lists, sized in
+// bytes of postings rather than entry count (one stop-word list can
+// outweigh ten thousand tail terms). It lives outside Index — Index
+// stays immutable and safely shareable — and is bound to a concrete
+// index per evaluation via Bind. Replacement is least-frequently-used
+// with LRU tiebreak over the byte budget; lists larger than the whole
+// budget are served decoded but never admitted.
+//
+// A hit hands evaluation an Iterator in decoded mode: no varint
+// decoding, and SkipTo becomes a binary search over the slice. The
+// decoded slices are immutable after insertion, so one cached decode can
+// back any number of concurrent evaluations.
+type PostingsCache struct {
+	mu sync.Mutex
+	c  *cache.SizedLFU[[]Posting]
+}
+
+// NewPostingsCache creates a posting-list cache holding at most
+// budgetBytes worth of decoded postings (PostingMemBytes each).
+func NewPostingsCache(budgetBytes int64) *PostingsCache {
+	return &PostingsCache{
+		c: cache.NewSizedLFU[[]Posting](budgetBytes, func(ps []Posting) int64 {
+			return int64(len(ps)) * PostingMemBytes
+		}),
+	}
+}
+
+// Stats returns accumulated hits, misses, and the bytes currently held.
+func (pc *PostingsCache) Stats() (hits, misses int, usedBytes int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	h, m := pc.c.Stats()
+	return h, m, pc.c.UsedCost()
+}
+
+// Bind returns a view of the cache over one concrete index. The view is
+// cheap (allocate one per evaluation); its Hits/Misses fields count only
+// this evaluation's lookups, so engines can attribute cache behaviour to
+// individual queries. A PostingsCache must only ever be bound to the
+// same logical index — entries are keyed by term alone.
+func (pc *PostingsCache) Bind(ix *Index) *CachedPostings {
+	return &CachedPostings{pc: pc, ix: ix}
+}
+
+// CachedPostings adapts a PostingsCache + Index pair to the postings-
+// provider shape rank evaluation consumes: PostingsInto serves decoded
+// slices from the cache and falls through to (and populates from) the
+// index on a miss.
+type CachedPostings struct {
+	pc     *PostingsCache
+	ix     *Index
+	Hits   int
+	Misses int
+}
+
+// PostingsInto re-initializes *it over term's postings, from the cache
+// when possible. Absent terms return nil without touching *it or the
+// counters, matching Index.PostingsInto.
+func (cp *CachedPostings) PostingsInto(it *Iterator, term string) *Iterator {
+	cp.pc.mu.Lock()
+	e, ok := cp.pc.c.Get(term)
+	cp.pc.mu.Unlock()
+	if ok {
+		cp.Hits++
+		return resetDecoded(it, e.Value)
+	}
+	ps := cp.ix.DecodedPostings(term)
+	if ps == nil {
+		return nil
+	}
+	cp.Misses++
+	cp.pc.mu.Lock()
+	cp.pc.c.Put(term, ps, 0)
+	cp.pc.mu.Unlock()
+	return resetDecoded(it, ps)
+}
+
+// DecodedPostings materializes term's posting list without positions
+// (the evaluation-path decode), or nil if the term is absent.
+func (ix *Index) DecodedPostings(term string) []Posting {
+	i, ok := ix.terms[term]
+	if !ok {
+		return nil
+	}
+	pl := &ix.termList[i].pl
+	out := make([]Posting, 0, pl.count)
+	it := newIterator(pl, ix.opts, false)
+	for it.Next() {
+		out = append(out, it.cur)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func plcacheIndex(t *testing.T) *Index {
+	t.Helper()
+	b := NewBuilder(DefaultOptions())
+	for d := 0; d < 200; d++ {
+		terms := []string{"common"}
+		if d%3 == 0 {
+			terms = append(terms, "third", fmt.Sprintf("u%d", d))
+		}
+		if d%7 == 0 {
+			terms = append(terms, "seventh", "common")
+		}
+		b.AddDocument(d, terms)
+	}
+	return b.Build()
+}
+
+func TestCachedPostingsMatchesIndex(t *testing.T) {
+	ix := plcacheIndex(t)
+	pc := NewPostingsCache(1 << 20)
+	for _, term := range []string{"common", "third", "seventh", "u21", "absent"} {
+		for round := 0; round < 2; round++ { // miss path, then hit path
+			cp := pc.Bind(ix)
+			var a, b Iterator
+			direct := ix.PostingsInto(&a, term)
+			cached := cp.PostingsInto(&b, term)
+			if (direct == nil) != (cached == nil) {
+				t.Fatalf("term %q round %d: presence mismatch", term, round)
+			}
+			if direct == nil {
+				continue
+			}
+			if direct.Count() != cached.Count() {
+				t.Fatalf("term %q: count %d vs %d", term, direct.Count(), cached.Count())
+			}
+			for direct.Next() {
+				if !cached.Next() {
+					t.Fatalf("term %q: cached iterator ended early", term)
+				}
+				if !reflect.DeepEqual(direct.Posting(), cached.Posting()) {
+					t.Fatalf("term %q: posting %+v vs %+v", term, direct.Posting(), cached.Posting())
+				}
+			}
+			if cached.Next() {
+				t.Fatalf("term %q: cached iterator ran long", term)
+			}
+		}
+	}
+	h, m, used := pc.Stats()
+	if h == 0 || m == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", h, m)
+	}
+	if used <= 0 {
+		t.Fatalf("used bytes = %d", used)
+	}
+}
+
+func TestCachedPostingsSkipToMatches(t *testing.T) {
+	ix := plcacheIndex(t)
+	pc := NewPostingsCache(1 << 20)
+	cp := pc.Bind(ix)
+	var warm Iterator
+	cp.PostingsInto(&warm, "common") // populate so the walk below is a hit
+	for _, target := range []int32{0, 1, 50, 63, 64, 65, 150, 199, 500} {
+		var a, b Iterator
+		direct := ix.PostingsInto(&a, "common")
+		cached := cp.PostingsInto(&b, "common")
+		okD := direct.SkipTo(target)
+		okC := cached.SkipTo(target)
+		if okD != okC {
+			t.Fatalf("SkipTo(%d): ok %v vs %v", target, okD, okC)
+		}
+		if okD && !reflect.DeepEqual(direct.Posting(), cached.Posting()) {
+			t.Fatalf("SkipTo(%d): %+v vs %+v", target, direct.Posting(), cached.Posting())
+		}
+		// Interleave Next after the skip.
+		for i := 0; i < 3; i++ {
+			nd, nc := direct.Next(), cached.Next()
+			if nd != nc {
+				t.Fatalf("Next after SkipTo(%d): %v vs %v", target, nd, nc)
+			}
+			if nd && !reflect.DeepEqual(direct.Posting(), cached.Posting()) {
+				t.Fatalf("Next after SkipTo(%d): postings differ", target)
+			}
+		}
+	}
+	if cp.Hits == 0 {
+		t.Fatal("SkipTo walk never hit the cache")
+	}
+}
+
+func TestPostingsCacheBudget(t *testing.T) {
+	ix := plcacheIndex(t)
+	// Budget fits only a handful of tail lists; "common" (200 postings ×
+	// 32 bytes) must not be admitted.
+	pc := NewPostingsCache(10 * PostingMemBytes)
+	cp := pc.Bind(ix)
+	var it Iterator
+	if cp.PostingsInto(&it, "common") == nil {
+		t.Fatal("oversized list must still be served, just not cached")
+	}
+	cp2 := pc.Bind(ix)
+	cp2.PostingsInto(&it, "common")
+	if cp2.Hits != 0 {
+		t.Fatal("oversized list was admitted past the byte budget")
+	}
+	cp2.PostingsInto(&it, "u21") // 1 posting: fits
+	cp3 := pc.Bind(ix)
+	cp3.PostingsInto(&it, "u21")
+	if cp3.Hits != 1 {
+		t.Fatal("small list not cached")
+	}
+	if _, _, used := pc.Stats(); used > 10*PostingMemBytes {
+		t.Fatalf("used %d exceeds budget", used)
+	}
+}
+
+func TestPostingsCacheConcurrent(t *testing.T) {
+	ix := plcacheIndex(t)
+	pc := NewPostingsCache(1 << 16)
+	terms := []string{"common", "third", "seventh", "u21", "u42", "u63"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cp := pc.Bind(ix)
+				term := terms[(g+i)%len(terms)]
+				var it Iterator
+				r := cp.PostingsInto(&it, term)
+				if r == nil {
+					t.Errorf("term %q vanished", term)
+					return
+				}
+				prev := int32(-1)
+				for r.Next() {
+					if r.Posting().Doc <= prev {
+						t.Errorf("term %q: postings out of order", term)
+						return
+					}
+					prev = r.Posting().Doc
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDynamicOnChangeHooks(t *testing.T) {
+	d := NewDynamic(DefaultOptions(), 4, 3)
+	var mu sync.Mutex
+	fired := 0
+	d.OnChange(func() { mu.Lock(); fired++; mu.Unlock() })
+	if err := d.Add(1, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after Add, want 1", fired)
+	}
+	d.Delete(1)
+	if fired != 2 {
+		t.Fatalf("fired = %d after Delete, want 2", fired)
+	}
+	d.Delete(99) // no-op delete must not fire
+	if fired != 2 {
+		t.Fatalf("fired = %d after no-op Delete, want 2", fired)
+	}
+	d.Flush() // empty buffer: no-op
+	if fired != 2 {
+		t.Fatalf("fired = %d after empty Flush, want 2", fired)
+	}
+	if err := d.Add(2, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	d.Flush()
+	if fired != 4 {
+		t.Fatalf("fired = %d after Add+Flush, want 4", fired)
+	}
+	// A hook that queries the index back must not deadlock (hooks run
+	// outside the write lock).
+	d.OnChange(func() { _ = d.NumDocs() })
+	if err := d.Add(3, []string{"d"}); err != nil {
+		t.Fatal(err)
+	}
+}

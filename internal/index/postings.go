@@ -113,6 +113,18 @@ type Iterator struct {
 	valid   bool
 	// withPos controls whether decoded positions are materialized.
 	withPos bool
+	// decoded, when non-nil, switches the iterator to decoded mode: it
+	// walks this pre-materialized slice (a posting-cache hit) instead of
+	// decoding pl.data, and SkipTo binary-searches the slice directly.
+	decoded []Posting
+}
+
+// resetDecoded re-initializes *it over a pre-decoded posting slice
+// (sorted by Doc). The iterator never mutates the slice, so one cached
+// decode can back any number of concurrent iterators.
+func resetDecoded(it *Iterator, ps []Posting) *Iterator {
+	*it = Iterator{decoded: ps}
+	return it
 }
 
 // newIterator starts an iterator over pl.
@@ -122,6 +134,16 @@ func newIterator(pl *postingList, opts Options, withPos bool) *Iterator {
 
 // Next advances to the next posting; it returns false at the end.
 func (it *Iterator) Next() bool {
+	if it.decoded != nil {
+		if it.i >= len(it.decoded) {
+			it.valid = false
+			return false
+		}
+		it.cur = it.decoded[it.i]
+		it.i++
+		it.valid = true
+		return true
+	}
 	if it.i >= it.pl.count {
 		it.valid = false
 		return false
@@ -135,13 +157,31 @@ func (it *Iterator) Next() bool {
 func (it *Iterator) Posting() Posting { return it.cur }
 
 // Count returns the total number of postings in the underlying list.
-func (it *Iterator) Count() int { return it.pl.count }
+func (it *Iterator) Count() int {
+	if it.decoded != nil {
+		return len(it.decoded)
+	}
+	return it.pl.count
+}
 
 // SkipTo advances to the first posting with Doc >= target, using skip
 // pointers to avoid decoding intervening postings. It returns false if
 // no such posting exists.
 func (it *Iterator) SkipTo(target int32) bool {
 	if it.valid && it.cur.Doc >= target {
+		return true
+	}
+	if it.decoded != nil {
+		rest := it.decoded[it.i:]
+		j := sort.Search(len(rest), func(k int) bool { return rest[k].Doc >= target })
+		if j == len(rest) {
+			it.i = len(it.decoded)
+			it.valid = false
+			return false
+		}
+		it.cur = rest[j]
+		it.i += j + 1
+		it.valid = true
 		return true
 	}
 	// Jump via the skip table: the entries' doc fields are strictly

@@ -263,6 +263,21 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.rows = append(t.rows, row)
 }
 
+// Ratio returns part/total, or 0 when total is 0 — the guard every
+// hit-ratio and coverage computation repeats.
+func Ratio(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return part / total
+}
+
+// FormatPercent renders a [0,1] fraction as a percentage with one
+// decimal ("42.7%"), the house style for hit-ratio and coverage tables.
+func FormatPercent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
 // FormatFloat renders a float compactly: integers without decimals,
 // otherwise 3 significant-looking decimals.
 func FormatFloat(v float64) string {

@@ -87,3 +87,93 @@ func benchConstruction(b *testing.B, workers int) {
 
 func BenchmarkEngineConstructionSerial(b *testing.B)   { benchConstruction(b, 1) }
 func BenchmarkEngineConstructionParallel(b *testing.B) { benchConstruction(b, 0) }
+
+// Cache-hierarchy benchmarks. The acceptance pair is
+// BenchmarkResultCacheHitZipf vs BenchmarkResultCacheColdZipf: the same
+// Zipfian stream against the same engine, warmed broker cache vs no
+// cache — the hit path must be at least ~5× faster per stream pass.
+
+func benchResultCache(b *testing.B, cached bool) {
+	e, queries := benchEngine(b, 8)
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	if cached {
+		e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 4096, Shards: 8, Policy: CacheLFU}))
+		for _, q := range queries { // warm: every distinct query cached
+			e.Query(q, opt)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			e.Query(q, opt)
+		}
+	}
+	b.StopTimer()
+	if cached {
+		b.ReportMetric(e.ResultCache().Stats().HitRatio(), "hit-ratio")
+	}
+}
+
+func BenchmarkResultCacheHitZipf(b *testing.B)  { benchResultCache(b, true) }
+func BenchmarkResultCacheColdZipf(b *testing.B) { benchResultCache(b, false) }
+
+// benchCachePolicy replays a long Zipf stream (many distinct queries,
+// small cache) and reports the achieved hit ratio — run LRU and SDC
+// side by side to reproduce the Fagni et al. ordering at the broker.
+func benchCachePolicy(b *testing.B, policy CachePolicy) {
+	e, _ := benchEngine(b, 8)
+	stream := zipfQueries(33, 3000, 1000)
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	var static []string
+	if policy == CacheSDC {
+		counts := make(map[string]int)
+		for _, q := range stream[:1000] {
+			counts[DocCacheKey(q, opt)]++
+		}
+		for k, c := range counts {
+			if c >= 3 { // popularity head of the sample
+				static = append(static, k)
+			}
+		}
+		if len(static) > 64 {
+			static = static[:64]
+		}
+	}
+	b.ResetTimer()
+	var last CacheStats
+	for i := 0; i < b.N; i++ {
+		e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 128, Shards: 8, Policy: policy, StaticKeys: static}))
+		for _, q := range stream {
+			e.Query(q, opt)
+		}
+		last = e.ResultCache().Stats()
+	}
+	b.ReportMetric(last.HitRatio(), "hit-ratio")
+}
+
+func BenchmarkResultCacheLRUHitRatio(b *testing.B) { benchCachePolicy(b, CacheLRU) }
+func BenchmarkResultCacheSDCHitRatio(b *testing.B) { benchCachePolicy(b, CacheSDC) }
+
+// Posting-list cache: decode-vs-binary-search on the partition servers,
+// result cache off so every query pays the evaluation path.
+func benchPostingsCache(b *testing.B, bytes int64) {
+	e, queries := benchEngine(b, 8)
+	e.SetPostingsCache(bytes)
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	for _, q := range queries { // warm the decoded-postings cache
+		e.Query(q, opt)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			e.Query(q, opt)
+		}
+	}
+	b.StopTimer()
+	if bytes > 0 {
+		b.ReportMetric(e.PostingsCacheStats().HitRatio(), "hit-ratio")
+	}
+}
+
+func BenchmarkPostingsCacheWarm(b *testing.B) { benchPostingsCache(b, 8<<20) }
+func BenchmarkPostingsCacheOff(b *testing.B)  { benchPostingsCache(b, 0) }

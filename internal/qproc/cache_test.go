@@ -1,0 +1,348 @@
+package qproc
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"dwr/internal/index"
+	"dwr/internal/partition"
+)
+
+// binPack4 builds a 4-server DF-balanced term partition over central's
+// vocabulary.
+func binPack4(central *index.Index) partition.TermPartition {
+	return partition.BinPackTerms(central.Terms(), func(t string) float64 {
+		return float64(central.DF(t))
+	}, 4)
+}
+
+// TestPostingsCacheDeterminism is the acceptance gate for the second
+// cache level: with the posting-list cache on, every query must return a
+// QueryResult byte-identical (full struct, reflect.DeepEqual) to the
+// uncached engine's, across worker counts, partition counts, statistics
+// modes, and OR/AND evaluation — on both the cold (miss+populate) and
+// warm (all-hit) passes. Run in CI under -race.
+func TestPostingsCacheDeterminism(t *testing.T) {
+	docs := corpus(41, 400, 250)
+	queries := zipfQueries(42, 30, 250)
+	for _, parts := range []int{1, 3, 8} {
+		plain := newDocEngine(t, docs, parts)
+		plain.SetWorkers(1)
+		cached := newDocEngine(t, docs, parts)
+		cached.SetPostingsCache(1 << 20)
+		for _, workers := range []int{1, 8} {
+			cached.SetWorkers(workers)
+			for _, mode := range []StatsMode{GlobalTwoRound, GlobalPrecomputed, LocalOnly} {
+				for _, conj := range []bool{false, true} {
+					opt := DocQueryOptions{K: 10, Stats: mode, Conjunctive: conj}
+					for pass := 0; pass < 2; pass++ { // cold, then warm
+						for qi, q := range queries {
+							want := plain.Query(q, opt)
+							got := cached.Query(q, opt)
+							if !reflect.DeepEqual(want, got) {
+								t.Fatalf("parts=%d workers=%d mode=%d conj=%v pass=%d query %d %v:\nuncached %+v\ncached   %+v",
+									parts, workers, mode, conj, pass, qi, q, want, got)
+							}
+						}
+					}
+				}
+			}
+		}
+		if st := cached.PostingsCacheStats(); st.Hits == 0 || st.Misses == 0 {
+			t.Fatalf("parts=%d: posting cache never exercised both paths: %+v", parts, st)
+		}
+	}
+}
+
+// TestTermEnginePostingsCacheDeterminism: same contract for the
+// pipelined term-partitioned engine.
+func TestTermEnginePostingsCacheDeterminism(t *testing.T) {
+	docs := corpus(43, 300, 200)
+	central := centralIndex(docs)
+	tp := binPack4(central)
+	plain, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.SetWorkers(1)
+	cached, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.SetPostingsCache(1 << 20)
+	for _, workers := range []int{1, 8} {
+		cached.SetWorkers(workers)
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range zipfQueries(44, 30, 200) {
+				want := plain.Query(q, 10)
+				got := cached.Query(q, 10)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("workers=%d pass=%d query %v:\nuncached %+v\ncached   %+v", workers, pass, q, want, got)
+				}
+			}
+		}
+	}
+	if st := cached.PostingsCacheStats(); st.Hits == 0 {
+		t.Fatal("term-server posting cache never hit")
+	}
+}
+
+// TestResultCacheHitPath: a repeat query answers from the broker cache
+// with the identical ranking, the FromCache flag, the flat cache-hit
+// latency, and zero backend work.
+func TestResultCacheHitPath(t *testing.T) {
+	docs := corpus(45, 300, 200)
+	e := newDocEngine(t, docs, 4)
+	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
+	q := []string{"w0001", "w0003"}
+	opt := DocQueryOptions{K: 10, Stats: GlobalTwoRound}
+	first := e.Query(q, opt)
+	if first.FromCache {
+		t.Fatal("cold query reported FromCache")
+	}
+	second := e.Query(q, opt)
+	if !second.FromCache {
+		t.Fatal("repeat query missed the result cache")
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("cached ranking differs from computed ranking")
+	}
+	if second.LatencyMs != DefaultCostModel().CacheHitMs {
+		t.Fatalf("hit latency %v, want CacheHitMs %v", second.LatencyMs, DefaultCostModel().CacheHitMs)
+	}
+	if second.PostingsDecoded != 0 || second.ServersContacted != 0 || second.Rounds != 0 || second.BytesTransferred != 0 {
+		t.Fatalf("hit did backend work: %+v", second)
+	}
+	st := e.ResultCache().Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit 1 miss", st)
+	}
+	// Different K or mode must not share an entry.
+	other := e.Query(q, DocQueryOptions{K: 5, Stats: GlobalTwoRound})
+	if other.FromCache {
+		t.Fatal("k=5 hit the k=10 entry")
+	}
+	if len(other.Results) > 5 {
+		t.Fatalf("k=5 returned %d results", len(other.Results))
+	}
+}
+
+// TestResultCacheDegradedNotCached: partial answers under failures never
+// enter the cache, and SetDown invalidates what is already there.
+func TestResultCacheDegradedNotCached(t *testing.T) {
+	docs := corpus(46, 300, 200)
+	e := newDocEngine(t, docs, 4)
+	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
+	q := []string{"w0002"}
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	e.Query(q, opt) // cached, full answer
+	e.SetDown(0, true)
+	after := e.Query(q, opt)
+	if after.FromCache {
+		t.Fatal("SetDown did not invalidate the result cache")
+	}
+	if !after.Degraded {
+		t.Fatal("expected a degraded answer with partition 0 down")
+	}
+	again := e.Query(q, opt)
+	if again.FromCache {
+		t.Fatal("degraded answer was cached")
+	}
+	e.SetDown(0, false)
+	healed := e.Query(q, opt)
+	if healed.FromCache || healed.Degraded {
+		t.Fatalf("recovery must recompute a full answer: %+v", healed)
+	}
+	if st := e.ResultCache().Stats(); st.StaleGen == 0 {
+		t.Fatalf("generation invalidation left no stale-miss trace: %+v", st)
+	}
+}
+
+// TestResultCacheTTLExpiry: entries older than TTLQueries ticks of the
+// cache's virtual clock are re-evaluated.
+func TestResultCacheTTLExpiry(t *testing.T) {
+	docs := corpus(47, 200, 150)
+	e := newDocEngine(t, docs, 2)
+	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 2, TTLQueries: 5}))
+	q := []string{"w0001"}
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	e.Query(q, opt)
+	if !e.Query(q, opt).FromCache {
+		t.Fatal("immediate repeat missed")
+	}
+	for i := 0; i < 10; i++ { // advance the clock past the TTL
+		e.Query([]string{fmt.Sprintf("w%04d", 10+i)}, opt)
+	}
+	if e.Query(q, opt).FromCache {
+		t.Fatal("entry served past its TTL")
+	}
+	if st := e.ResultCache().Stats(); st.ExpiredTTL == 0 {
+		t.Fatalf("no TTL expiry recorded: %+v", st)
+	}
+}
+
+// TestDynamicOnChangeInvalidatesResultCache wires the two new hooks
+// together: a dynamic-index mutation bumps the result cache's
+// generation, so the next lookup recomputes instead of serving a result
+// from before the update.
+func TestDynamicOnChangeInvalidatesResultCache(t *testing.T) {
+	rc := NewResultCache(ResultCacheConfig{Capacity: 16, Shards: 2})
+	d := index.NewDynamic(index.DefaultOptions(), 8, 3)
+	d.OnChange(rc.Invalidate)
+	rc.Put("q|k=10", QueryResult{LatencyMs: 1})
+	if _, ok := rc.Get("q|k=10"); !ok {
+		t.Fatal("warm entry missing")
+	}
+	if err := d.Add(1, []string{"fresh", "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rc.Get("q|k=10"); ok {
+		t.Fatal("result cached before the index update survived it")
+	}
+	if rc.Stats().StaleGen != 1 {
+		t.Fatalf("stats %+v, want 1 generation-stale miss", rc.Stats())
+	}
+}
+
+// TestResultCacheSDCBeatsLRUOnEngine replays one Zipfian stream through
+// two identically sized broker caches; the SDC cache, with its static
+// section warmed from the head of a log sample, must out-hit pure LRU —
+// the Fagni et al. result at the engine level.
+func TestResultCacheSDCBeatsLRUOnEngine(t *testing.T) {
+	docs := corpus(48, 300, 300)
+	queries := zipfQueries(49, 6000, 300)
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+
+	// Warm the static set from the head (first third) of the stream.
+	sample := queries[:2000]
+	counts := make(map[string]int, len(sample))
+	for _, q := range sample {
+		counts[DocCacheKey(q, opt)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	const capTotal = 128
+	static := keys
+	if len(static) > capTotal/2 {
+		static = static[:capTotal/2]
+	}
+
+	run := func(cfg ResultCacheConfig) CacheStats {
+		e := newDocEngine(t, docs, 4)
+		e.SetResultCache(NewResultCache(cfg))
+		for _, q := range queries {
+			e.Query(q, opt)
+		}
+		return e.ResultCache().Stats()
+	}
+	lru := run(ResultCacheConfig{Capacity: capTotal, Shards: 4, Policy: CacheLRU})
+	sdc := run(ResultCacheConfig{Capacity: capTotal, Shards: 4, Policy: CacheSDC, StaticKeys: static})
+	if sdc.HitRatio() <= lru.HitRatio() {
+		t.Fatalf("SDC hit ratio %.3f not above LRU %.3f", sdc.HitRatio(), lru.HitRatio())
+	}
+}
+
+// TestConcurrentCachedQueries hammers a fully cache-enabled engine from
+// many goroutines under -race: sharded result cache, posting caches, and
+// interleaved invalidations.
+func TestConcurrentCachedQueries(t *testing.T) {
+	docs := corpus(50, 300, 200)
+	e := newDocEngine(t, docs, 4)
+	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 256, Shards: 8, Policy: CacheLFU}))
+	e.SetPostingsCache(1 << 18)
+	queries := zipfQueries(51, 40, 200)
+	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
+	want := make([]QueryResult, len(queries))
+	for i, q := range queries {
+		want[i] = e.Query(q, opt)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				qi := (g + i) % len(queries)
+				got := e.Query(queries[qi], opt)
+				if !reflect.DeepEqual(got.Results, want[qi].Results) {
+					t.Errorf("query %d: ranking changed under concurrency", qi)
+					return
+				}
+				if g == 0 && i%50 == 49 {
+					e.ResultCache().Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := e.ResultCache().Stats(); st.Hits == 0 {
+		t.Fatal("result cache never hit under load")
+	}
+}
+
+// TestTermEngineResultCache: the pipelined engine's broker cache serves
+// repeats with identical rankings.
+func TestTermEngineResultCache(t *testing.T) {
+	docs := corpus(52, 200, 150)
+	central := centralIndex(docs)
+	e, err := NewTermEngine(index.DefaultOptions(), docs, binPack4(central))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 32, Shards: 2}))
+	q := []string{"w0002", "w0005"}
+	first := e.Query(q, 10)
+	second := e.Query(q, 10)
+	if !second.FromCache {
+		t.Fatal("repeat query missed")
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("cached ranking differs")
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	a := NormalizeQueryKey([]string{"b", "a", "b", "a"})
+	if a != "b a" {
+		t.Fatalf("dedup key = %q, want first-occurrence order", a)
+	}
+	opt := DocQueryOptions{K: 10}
+	if DocCacheKey([]string{"a", "b"}, opt) == DocCacheKey([]string{"b", "a"}, opt) {
+		t.Fatal("permutations must NOT share a key (float accumulation order differs)")
+	}
+	if DocCacheKey([]string{"a"}, DocQueryOptions{K: 10}) == DocCacheKey([]string{"a"}, DocQueryOptions{K: 20}) {
+		t.Fatal("k must be part of the key")
+	}
+	if DocCacheKey([]string{"a"}, DocQueryOptions{K: 10}) == DocCacheKey([]string{"a"}, DocQueryOptions{K: 10, Conjunctive: true}) {
+		t.Fatal("conjunctive flag must be part of the key")
+	}
+	if TermCacheKey([]string{"a"}, 10) == TermCacheKey([]string{"a"}, 20) {
+		t.Fatal("k must be part of the term-engine key")
+	}
+}
+
+func TestParseCachePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want CachePolicy
+	}{{"lru", CacheLRU}, {"LFU", CacheLFU}, {"sdc", CacheSDC}} {
+		got, err := ParseCachePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseCachePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseCachePolicy("arc"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

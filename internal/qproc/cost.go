@@ -21,12 +21,13 @@ type CostModel struct {
 	FixedMs          float64 // per query-fragment overhead on a server
 	PerPostingMs     float64
 	PerAccumulatorMs float64 // per travelling-accumulator entry a pipeline server touches
+	CacheHitMs       float64 // broker-local result-cache hit: a hash lookup, no fan-out
 }
 
 // DefaultCostModel returns 0.1 ms fixed + 2 µs per posting + 1 µs per
-// accumulator entry.
+// accumulator entry; a result-cache hit answers in 0.2 ms flat.
 func DefaultCostModel() CostModel {
-	return CostModel{FixedMs: 0.1, PerPostingMs: 0.002, PerAccumulatorMs: 0.001}
+	return CostModel{FixedMs: 0.1, PerPostingMs: 0.002, PerAccumulatorMs: 0.001, CacheHitMs: 0.2}
 }
 
 // ServiceMs returns the service time for decoding n postings.

@@ -36,6 +36,11 @@ type DocEngine struct {
 	downs     []bool
 	queries   int
 	partition partition.DocPartition
+	// rcache is the broker-level result cache (level 1); pcaches are the
+	// per-partition-server posting-list caches (level 2). Both nil by
+	// default; configure before serving queries.
+	rcache  *ResultCache
+	pcaches []*index.PostingsCache
 }
 
 // NewDocEngine builds per-partition indexes from docs according to the
@@ -71,6 +76,7 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	if e.global.NumDocs == 0 {
 		return nil, fmt.Errorf("qproc: document partition covers no documents")
 	}
+	applyDefaultCaches(e.SetResultCache, e.SetPostingsCache)
 	return e, nil
 }
 
@@ -98,11 +104,52 @@ func (e *DocEngine) Workers() int { return e.workers }
 // SetDown marks a query processor as failed (true) or recovered (false);
 // the broker skips failed processors and flags the answer Degraded — the
 // paper's "the system might still be able to answer queries without
-// using all the sub-collections".
+// using all the sub-collections". Topology changes invalidate the result
+// cache: entries computed against the old liveness would otherwise mask
+// the change (recovered servers' documents missing, etc.).
 func (e *DocEngine) SetDown(p int, down bool) {
 	e.mu.Lock()
 	e.downs[p] = down
 	e.mu.Unlock()
+	if e.rcache != nil {
+		e.rcache.Invalidate()
+	}
+}
+
+// SetResultCache installs (or, with nil, removes) the broker-level
+// result cache. Configure before serving queries; degraded answers are
+// never cached.
+func (e *DocEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
+
+// ResultCache returns the installed result cache (nil if none).
+func (e *DocEngine) ResultCache() *ResultCache { return e.rcache }
+
+// SetPostingsCache gives every partition server a posting-list cache of
+// bytesPerPartition bytes of decoded postings (<= 0 removes the caches).
+// Cached and uncached evaluation return byte-identical results; only
+// decode work is saved. Configure before serving queries.
+func (e *DocEngine) SetPostingsCache(bytesPerPartition int64) {
+	if bytesPerPartition <= 0 {
+		e.pcaches = nil
+		return
+	}
+	e.pcaches = make([]*index.PostingsCache, len(e.parts))
+	for i := range e.pcaches {
+		e.pcaches[i] = index.NewPostingsCache(bytesPerPartition)
+	}
+}
+
+// PostingsCacheStats aggregates hit/miss/occupancy over the partition
+// servers' posting-list caches (zero value if disabled).
+func (e *DocEngine) PostingsCacheStats() PostingsCacheStats {
+	var out PostingsCacheStats
+	for _, pc := range e.pcaches {
+		h, m, b := pc.Stats()
+		out.Hits += h
+		out.Misses += m
+		out.UsedBytes += b
+	}
+	return out
 }
 
 // BusyMs returns accumulated per-processor busy time — the Figure 2
@@ -162,6 +209,16 @@ type partEval struct {
 func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	if opt.K <= 0 {
 		opt.K = 10
+	}
+	var ckey string
+	if e.rcache != nil {
+		ckey = DocCacheKey(terms, opt)
+		if hit, ok := e.rcache.Get(ckey); ok {
+			// A hit answers at the broker: same ranked results, no
+			// fan-out, so the work counters are genuinely zero and the
+			// latency is one local lookup.
+			return QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+		}
 	}
 	var qr QueryResult
 
@@ -242,10 +299,18 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	evals := make([]partEval, len(targets))
 	conc.Do(len(targets), e.workers, func(i int) {
 		p := targets[i]
+		ix := e.parts[p]
+		// Level 2: serve decoded posting lists from the partition
+		// server's cache when configured. The provider contract keeps
+		// results and accounting byte-identical either way.
+		var pp rank.PostingsProvider = ix
+		if e.pcaches != nil {
+			pp = e.pcaches[p].Bind(ix)
+		}
 		if opt.Conjunctive {
-			evals[i].rs, evals[i].es = rank.EvaluateAND(e.parts[p], scorers[i], terms, opt.K)
+			evals[i].rs, evals[i].es = rank.EvaluateANDFrom(pp, ix, scorers[i], terms, opt.K)
 		} else {
-			evals[i].rs, evals[i].es = rank.EvaluateOR(e.parts[p], scorers[i], terms, opt.K)
+			evals[i].rs, evals[i].es = rank.EvaluateORFrom(pp, ix, scorers[i], terms, opt.K)
 		}
 	})
 	lists := make([][]rank.Result, len(targets))
@@ -267,5 +332,10 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	e.mu.Unlock()
 	qr.Results = rank.MergeResults(opt.K, lists...)
 	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval + reply
+	if e.rcache != nil && !qr.Degraded {
+		// Degraded answers are partial; caching them would keep serving
+		// the partial ranking after the servers recover.
+		e.rcache.Put(ckey, qr)
+	}
 	return qr
 }

@@ -123,6 +123,51 @@ func TestStaleServingMasksTotalOutage(t *testing.T) {
 	}
 }
 
+// TestStaleFallbackSetsStaleFlag pins the full stale-serving chain:
+// a result cached at t=1 expires past the TTL, the fresh re-evaluation
+// comes back empty because every query processor is down, and the
+// coordinator then serves the expired copy — identical results, marked
+// FromCache AND Stale, with Failed cleared. This is the deferred
+// fallback in Submit, distinct from the fresh-hit path (Stale=false).
+func TestStaleFallbackSetsStaleFlag(t *testing.T) {
+	m := newMultiSite(t, RouteGeo, 1) // TTL = 1 virtual hour
+	warm := m.Submit([]string{"w0003"}, "w0003", 0, 1, 10)
+	if warm.Failed || warm.FromCache || len(warm.Results) == 0 {
+		t.Fatalf("warmup: %+v", warm)
+	}
+	// 9 hours later the entry is well past its TTL, and every processor
+	// of every site's engine has failed: re-evaluation yields an empty
+	// degraded answer.
+	for _, s := range m.Sites {
+		for p := 0; p < s.Engine.K(); p++ {
+			s.Engine.SetDown(p, true)
+		}
+	}
+	r := m.Submit([]string{"w0003"}, "w0003", 0, 10, 10)
+	if r.Failed {
+		t.Fatalf("stale fallback did not mask the outage: %+v", r)
+	}
+	if !r.FromCache || !r.Stale {
+		t.Fatalf("fallback answer not flagged FromCache+Stale: FromCache=%v Stale=%v", r.FromCache, r.Stale)
+	}
+	if len(r.Results) != len(warm.Results) {
+		t.Fatalf("stale answer has %d results, warm had %d", len(r.Results), len(warm.Results))
+	}
+	for i := range r.Results {
+		if r.Results[i] != warm.Results[i] {
+			t.Fatalf("stale answer diverged from the cached copy at rank %d", i)
+		}
+	}
+	// Fresh-path sanity: a repeat within the TTL serves FromCache but
+	// NOT Stale.
+	m2 := newMultiSite(t, RouteGeo, 2)
+	m2.Submit([]string{"w0005"}, "w0005", 0, 1, 10)
+	fresh := m2.Submit([]string{"w0005"}, "w0005", 0, 1.5, 10)
+	if !fresh.FromCache || fresh.Stale {
+		t.Fatalf("fresh hit mis-flagged: FromCache=%v Stale=%v", fresh.FromCache, fresh.Stale)
+	}
+}
+
 func TestFailoverToRemoteSite(t *testing.T) {
 	m := newMultiSite(t, RouteGeo, 0)
 	m.Sites[0].Outages = []cluster.Outage{{Start: 0, End: 100}}

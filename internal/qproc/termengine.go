@@ -36,6 +36,10 @@ type TermEngine struct {
 	mu      sync.Mutex
 	busyMs  []float64
 	queries int
+	// rcache caches complete results at the broker; pcaches cache
+	// decoded posting lists per term server. Both nil by default.
+	rcache  *ResultCache
+	pcaches []*index.PostingsCache
 }
 
 // NewTermEngine builds per-server term-sliced indexes from docs under
@@ -77,6 +81,7 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 	merged.NumDocs = e.servers[0].NumDocs()
 	merged.TotalLen = e.servers[0].TotalLen()
 	e.scorer = rank.NewScorer(rank.FromGlobal(merged))
+	applyDefaultCaches(e.SetResultCache, e.SetPostingsCache)
 	return e, nil
 }
 
@@ -89,6 +94,40 @@ func (e *TermEngine) SetWorkers(n int) { e.workers = n }
 
 // Workers reports the configured fan-out width (0 = GOMAXPROCS).
 func (e *TermEngine) Workers() int { return e.workers }
+
+// SetResultCache installs (or, with nil, removes) the broker-level
+// result cache. Configure before serving queries.
+func (e *TermEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
+
+// ResultCache returns the installed result cache (nil if none).
+func (e *TermEngine) ResultCache() *ResultCache { return e.rcache }
+
+// SetPostingsCache gives every term server a posting-list cache of
+// bytesPerServer bytes of decoded postings (<= 0 removes the caches).
+// Configure before serving queries.
+func (e *TermEngine) SetPostingsCache(bytesPerServer int64) {
+	if bytesPerServer <= 0 {
+		e.pcaches = nil
+		return
+	}
+	e.pcaches = make([]*index.PostingsCache, len(e.servers))
+	for i := range e.pcaches {
+		e.pcaches[i] = index.NewPostingsCache(bytesPerServer)
+	}
+}
+
+// PostingsCacheStats aggregates hit/miss/occupancy over the term
+// servers' posting-list caches (zero value if disabled).
+func (e *TermEngine) PostingsCacheStats() PostingsCacheStats {
+	var out PostingsCacheStats
+	for _, pc := range e.pcaches {
+		h, m, b := pc.Stats()
+		out.Hits += h
+		out.Misses += m
+		out.UsedBytes += b
+	}
+	return out
+}
 
 // BusyMs returns accumulated per-server busy time — the right-hand side
 // of Figure 2.
@@ -132,6 +171,13 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
+	var ckey string
+	if e.rcache != nil {
+		ckey = TermCacheKey(terms, k)
+		if hit, ok := e.rcache.Get(ckey); ok {
+			return QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+		}
+	}
 	var qr QueryResult
 	route := e.tp.PartsOf(terms)
 	qr.ServersContacted = len(route)
@@ -149,12 +195,22 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	conc.Do(len(route), e.workers, func(i int) {
 		s := route[i]
 		ix := e.servers[s]
+		var cp *index.CachedPostings
+		if e.pcaches != nil {
+			cp = e.pcaches[s].Bind(ix)
+		}
 		h := &hops[i]
+		var its index.Iterator
 		for _, t := range dedupTerms(terms) {
 			if e.tp.Assign[t] != s {
 				continue
 			}
-			it := ix.Postings(t)
+			var it *index.Iterator
+			if cp != nil {
+				it = cp.PostingsInto(&its, t)
+			} else {
+				it = ix.PostingsInto(&its, t)
+			}
 			if it == nil {
 				continue
 			}
@@ -208,6 +264,9 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	}
 	qr.Results = rs
 	qr.LatencyMs = latency
+	if e.rcache != nil {
+		e.rcache.Put(ckey, qr)
+	}
 	return qr
 }
 

@@ -1,6 +1,9 @@
 package qproc
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // defaultWorkers is the fan-out width newly constructed engines start
 // with; 0 means GOMAXPROCS.
@@ -23,3 +26,54 @@ func SetDefaultWorkers(n int) {
 // DefaultWorkers reports the current engine-construction default
 // (0 = GOMAXPROCS).
 func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// Engine-construction cache defaults, the -cachecap/-cachettl/
+// -cacheshards story for command-line tools: set once from flags, and
+// every engine constructed afterwards starts with the configured
+// caches. Both default to disabled, preserving the accounting of
+// existing experiments exactly.
+var (
+	defaultCacheMu  sync.Mutex
+	defaultRCConfig *ResultCacheConfig
+	defaultPLBytes  atomic.Int64
+)
+
+// SetDefaultResultCache sets the result-cache configuration newly
+// constructed engines start with; nil (the initial state) disables it.
+// The config is copied; SDC static keys are workload-specific, so CLIs
+// that want a warmed SDC should build the cache themselves (see
+// internal/core).
+func SetDefaultResultCache(cfg *ResultCacheConfig) {
+	defaultCacheMu.Lock()
+	defer defaultCacheMu.Unlock()
+	if cfg == nil {
+		defaultRCConfig = nil
+		return
+	}
+	c := *cfg
+	c.StaticKeys = append([]string(nil), cfg.StaticKeys...)
+	defaultRCConfig = &c
+}
+
+// SetDefaultPostingsCacheBytes sets the per-server posting-list cache
+// budget newly constructed engines start with (0 disables).
+func SetDefaultPostingsCacheBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	defaultPLBytes.Store(n)
+}
+
+// applyDefaultCaches installs the configured default caches on a new
+// engine via its setters.
+func applyDefaultCaches(setRC func(*ResultCache), setPL func(int64)) {
+	defaultCacheMu.Lock()
+	cfg := defaultRCConfig
+	defaultCacheMu.Unlock()
+	if cfg != nil {
+		setRC(NewResultCache(*cfg))
+	}
+	if n := defaultPLBytes.Load(); n > 0 {
+		setPL(n)
+	}
+}

@@ -250,6 +250,31 @@ func (lg *Log) CoOccurrence() map[[2]string]int {
 	return co
 }
 
+// TopKeys returns the n most frequent distinct query keys, most popular
+// first (ties break lexicographically for determinism) — the popularity
+// head an SDC result cache pins as its static set. n <= 0 returns all
+// distinct keys.
+func (lg *Log) TopKeys(n int) []string {
+	counts := make(map[string]int)
+	for _, q := range lg.Queries {
+		counts[q.Key]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if n > 0 && len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
 // PopularityCounts returns instance counts per distinct query key,
 // sorted descending — the cache-design input.
 func (lg *Log) PopularityCounts() []int {
