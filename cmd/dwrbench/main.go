@@ -6,6 +6,7 @@
 //	dwrbench            # run every experiment, in paper order
 //	dwrbench -list      # list experiment IDs and titles
 //	dwrbench -exp F2    # run one experiment (T1, F1, F2, F5, F6, C1..C14)
+//	dwrbench -faults    # run the fault-injection scenario suite
 package main
 
 import (
@@ -27,22 +28,36 @@ func main() {
 	cacheShards := flag.Int("cacheshards", 0, "result-cache lock shards (0 = 8)")
 	cachePolicy := flag.String("cachepolicy", "lru", "result-cache replacement for -cachecap: lru | lfu")
 	plCache := flag.Int64("plcache", 0, "per-server posting-list cache in bytes of decoded postings (0 = off; results are identical, only decode work changes)")
+	faults := flag.Bool("faults", false, "run the fault-injection scenario suite: availability and tail latency under crash/flaky/slow/outage schedules (deterministic for a fixed -faultseed)")
+	faultSeed := flag.Int64("faultseed", 42, "fault-schedule seed for -faults")
 	flag.Parse()
-	qproc.SetDefaultWorkers(*workers)
+	var defaults []qproc.Option
+	defaults = append(defaults, qproc.WithWorkers(*workers))
 	if *cacheCap > 0 {
 		policy, err := qproc.ParseCachePolicy(*cachePolicy)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(2)
 		}
-		qproc.SetDefaultResultCache(&qproc.ResultCacheConfig{
+		defaults = append(defaults, qproc.WithResultCache(qproc.ResultCacheConfig{
 			Capacity:   *cacheCap,
 			Shards:     *cacheShards,
 			TTLQueries: *cacheTTL,
 			Policy:     policy,
-		})
+		}))
 	}
-	qproc.SetDefaultPostingsCacheBytes(*plCache)
+	if *plCache > 0 {
+		defaults = append(defaults, qproc.WithPostingsCache(*plCache))
+	}
+	qproc.SetDefaultOptions(defaults...)
+
+	if *faults {
+		if err := runFaultScenarios(os.Stdout, *faultSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -36,7 +36,7 @@ func main() {
 	plCache := flag.Int64("plcache", 0, "per-partition posting-list cache in bytes of decoded postings (0 = off)")
 	flag.Parse()
 
-	qproc.SetDefaultWorkers(*workers)
+	qproc.SetDefaultOptions(qproc.WithWorkers(*workers))
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Web.Seed = *seed

@@ -56,7 +56,10 @@ func main() {
 		ids[i] = d.Ext
 	}
 	const parts = 4
-	eng, err := qproc.NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, parts))
+	// warmEng is a cache-less engine used only to compute the answers
+	// SDC pins into its static half; the measured engines are built
+	// per policy below with their cache attached at construction.
+	warmEng, err := qproc.NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, parts))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,16 +88,22 @@ func main() {
 	for _, c := range configs {
 		rc := qproc.NewResultCache(c.cfg)
 		if c.cfg.Policy == qproc.CacheSDC {
-			// Warming: answer the static queries once (uncached, so the
-			// measured stream starts with clean counters) and pin their
-			// results into the frozen half before the stream arrives.
-			eng.SetResultCache(nil)
+			// Warming: answer the static queries on the cache-less
+			// engine (so the measured stream starts with clean counters)
+			// and pin their results into the frozen half before the
+			// stream arrives.
 			for _, key := range warmLog.TopKeys(capacity / 2) {
 				terms := strings.Fields(key)
-				rc.Put(qproc.DocCacheKey(terms, opts), eng.Query(terms, opts))
+				rc.Put(qproc.DocCacheKey(terms, opts), warmEng.Query(terms, opts))
 			}
 		}
-		eng.SetResultCache(rc)
+		// The measured engine gets the prebuilt (possibly pre-warmed)
+		// cache at construction.
+		eng, err := qproc.NewDocEngine(index.DefaultOptions(), docs,
+			partition.RoundRobinDocs(ids, parts), qproc.WithResultCacheInstance(rc))
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, q := range stream {
 			eng.Query(q.Terms, opts)
 		}

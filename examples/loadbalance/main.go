@@ -74,13 +74,17 @@ func main() {
 
 	// The same replay through the serial broker and the parallel
 	// scatter-gather: answers and busy-load accounting are identical at
-	// any width; only wall-clock time changes with the core count.
+	// any width; only wall-clock time changes with the core count. Each
+	// width is a fresh engine configured via WithWorkers.
 	timeReplay := func(workers int) time.Duration {
-		de.SetWorkers(workers)
-		de.ResetBusy()
+		e, err := qproc.NewDocEngine(index.DefaultOptions(), docs,
+			partition.RoundRobinDocs(ids, k), qproc.WithWorkers(workers))
+		if err != nil {
+			log.Fatal(err)
+		}
 		t0 := time.Now()
 		for _, q := range lg.Queries[:3000] {
-			de.Query(q.Terms, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalPrecomputed})
+			e.Query(q.Terms, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalPrecomputed})
 		}
 		return time.Since(t0)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"dwr/internal/cluster"
 	"dwr/internal/core"
+	"dwr/internal/faultsim"
 	"dwr/internal/index"
 	"dwr/internal/partition"
 	"dwr/internal/qproc"
@@ -33,16 +34,19 @@ func main() {
 		ids[i] = d.Ext
 	}
 
-	m := &qproc.MultiSite{
-		Net:              cluster.NewNetwork(1, 3),
-		Policy:           qproc.RouteGeo,
-		CacheTTL:         1, // results stay fresh for one virtual hour
-		OffloadThreshold: 0.7,
-		Workers:          0, // incremental answers fan out over all cores
-	}
+	m := qproc.NewMultiSite(cluster.NewNetwork(1, 3), qproc.RouteGeo)
+	m.CacheTTL = 1 // results stay fresh for one virtual hour
+	m.OffloadThreshold = 0.7
+	// Each site's engine carries a deterministic fault injector so
+	// processor failures can be staged (and healed) mid-run.
+	var injs []*faultsim.Injector
 	for s := 0; s < 3; s++ {
+		inj := faultsim.New(int64(100 + s))
+		injs = append(injs, inj)
 		dp := partition.RoundRobinDocs(ids, 4)
-		e, err := qproc.NewDocEngine(index.DefaultOptions(), engine.Docs, dp)
+		e, err := qproc.NewDocEngine(index.DefaultOptions(), engine.Docs, dp,
+			qproc.WithFaultPolicy(qproc.DefaultFaultPolicy()),
+			qproc.WithInjector(inj))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,19 +75,24 @@ func main() {
 	// Catastrophe at hour 4: sites 1 and 2 also lose their query
 	// processors. Only site 0's coordinator is... also down. At hour 6
 	// site 0's coordinator is back but every query processor across the
-	// system is dead — the stale cache answers.
+	// system is dead — crashes injected on every partition replica via
+	// the fault simulator — and the stale cache answers.
 	m.Sites[1].Outages = []cluster.Outage{{Start: 4, End: 24}}
 	m.Sites[2].Outages = []cluster.Outage{{Start: 4, End: 24}}
 	for p := 0; p < m.Sites[0].Engine.K(); p++ {
-		m.Sites[0].Engine.SetDown(p, true)
+		injs[0].Unit(p, faultsim.Spec{Crash: true})
 	}
+	h := m.Sites[0].Engine.Health()
+	fmt.Printf("t=6h  health:    site 0 engine %d/%d partitions up, down=%v\n",
+		h.Live(), h.Units, h.Down)
 	r = m.Submit(terms, key, 0, 6.5, 5)
 	fmt.Printf("t=6.5h outage:    fromCache=%v stale=%v results=%d (cached results mask the outage)\n",
 		r.FromCache, r.Stale, len(r.Results))
 
 	// Incremental query processing: all sites answer, fastest first.
+	// Healing = clearing the injected crash specs.
 	for p := 0; p < m.Sites[0].Engine.K(); p++ {
-		m.Sites[0].Engine.SetDown(p, false)
+		injs[0].ClearUnit(p)
 	}
 	m.Sites[1].Outages, m.Sites[2].Outages = nil, nil
 	fmt.Println("\nincremental processing (batches as sites answer):")

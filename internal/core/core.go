@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dwr/internal/crawler"
+	"dwr/internal/faultsim"
 	"dwr/internal/index"
 	"dwr/internal/partition"
 	"dwr/internal/qproc"
@@ -76,11 +77,49 @@ type Config struct {
 	// Workers bounds the broker's scatter-gather fan-out: 1 = serial,
 	// 0 = GOMAXPROCS. Any value produces identical results; only
 	// wall-clock time changes. (Partition-build concurrency follows
-	// qproc.SetDefaultWorkers, which the CLIs set from the same flag.)
+	// the ambient qproc.SetDefaultOptions, which the CLIs set from the
+	// same flag.)
 	Workers int
 	// Cache configures the two-level cache hierarchy (both levels
 	// disabled at zero value).
 	Cache CacheConfig
+	// Faults, when non-nil, wires a deterministic fault-injection layer
+	// and robustness policy under the query engine.
+	Faults *FaultConfig
+}
+
+// FaultConfig describes the injected fault environment and the policy
+// that answers it. All randomness derives from Seed, so a run is exactly
+// reproducible.
+type FaultConfig struct {
+	Seed int64
+	// FlakyP / SlowP / SlowMeanMs apply to every partition replica:
+	// probabilistic error replies and log-normal latency spikes.
+	FlakyP     float64
+	SlowP      float64
+	SlowMeanMs float64
+	// CrashParts lists partitions whose every replica is permanently
+	// dead.
+	CrashParts []int
+	// Windows adds partition-wide outage intervals keyed by query tick.
+	Windows []faultsim.Window
+	// Policy overrides qproc.DefaultFaultPolicy when non-nil.
+	Policy *qproc.FaultPolicy
+}
+
+// Injector materializes the configured fault schedule.
+func (f *FaultConfig) Injector() *faultsim.Injector {
+	inj := faultsim.New(f.Seed)
+	if f.FlakyP > 0 || f.SlowP > 0 {
+		inj.Default(faultsim.Spec{FlakyP: f.FlakyP, SlowP: f.SlowP, SlowMeanMs: f.SlowMeanMs})
+	}
+	for _, p := range f.CrashParts {
+		inj.Unit(p, faultsim.Spec{Crash: true})
+	}
+	for _, w := range f.Windows {
+		inj.Window(w)
+	}
+	return inj
 }
 
 // CacheConfig sizes the engine's cache hierarchy: a broker-level result
@@ -202,13 +241,11 @@ func (e *Engine) partitionAndIndex() error {
 	default:
 		e.Partition = partition.RoundRobinDocs(ids, cfg.Partitions)
 	}
-	q, err := qproc.NewDocEngine(cfg.Index, e.Docs, e.Partition)
+	q, err := qproc.NewDocEngine(cfg.Index, e.Docs, e.Partition, e.engineOptions()...)
 	if err != nil {
 		return err
 	}
-	q.SetWorkers(cfg.Workers)
 	e.Query = q
-	e.installCaches()
 	if e.Selector == nil {
 		var stats []index.Stats
 		for p := 0; p < q.K(); p++ {
@@ -219,13 +256,17 @@ func (e *Engine) partitionAndIndex() error {
 	return nil
 }
 
-// installCaches wires the configured cache hierarchy onto the query
-// engine. For SDC the static set is warmed offline: a query-log sample
-// is generated against the same synthetic Web, and the most popular
-// keys of its head become the cache's permanent slots — the Fagni et
-// al. recipe, using history to pin what churn would otherwise evict.
-func (e *Engine) installCaches() {
-	cc := e.Config.Cache
+// engineOptions folds the Config into the qproc functional-options list
+// the query engine is constructed with: fan-out width, the two-level
+// cache hierarchy, and the fault environment. For SDC the static set is
+// warmed offline: a query-log sample is generated against the same
+// synthetic Web, and the most popular keys of its head become the
+// cache's permanent slots — the Fagni et al. recipe, using history to
+// pin what churn would otherwise evict.
+func (e *Engine) engineOptions() []qproc.Option {
+	cfg := e.Config
+	opts := []qproc.Option{qproc.WithWorkers(cfg.Workers)}
+	cc := cfg.Cache
 	if cc.Capacity > 0 {
 		rcfg := qproc.ResultCacheConfig{
 			Capacity:   cc.Capacity,
@@ -236,11 +277,20 @@ func (e *Engine) installCaches() {
 		if cc.Policy == qproc.CacheSDC {
 			rcfg.StaticKeys = e.warmStaticKeys(cc.Capacity / 2)
 		}
-		e.Query.SetResultCache(qproc.NewResultCache(rcfg))
+		opts = append(opts, qproc.WithResultCache(rcfg))
 	}
 	if cc.PostingBytes > 0 {
-		e.Query.SetPostingsCache(cc.PostingBytes)
+		opts = append(opts, qproc.WithPostingsCache(cc.PostingBytes))
 	}
+	if f := cfg.Faults; f != nil {
+		opts = append(opts, qproc.WithInjector(f.Injector()))
+		pol := qproc.DefaultFaultPolicy()
+		if f.Policy != nil {
+			pol = *f.Policy
+		}
+		opts = append(opts, qproc.WithFaultPolicy(pol))
+	}
+	return opts
 }
 
 // warmStaticKeys picks up to n SDC static keys from the head of a

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// FaultCounters tallies fault-handling events on a query path: what the
+// robustness policy saw and what it did about it. Engines accumulate
+// one instance at their gather point (serially, under the engine lock),
+// so the totals are deterministic for a fixed fault schedule.
+type FaultCounters struct {
+	// FaultsSeen counts injected failures observed across all attempts:
+	// error replies, silent crashes, and outage-window drops.
+	FaultsSeen int
+	// Retries counts re-dispatched attempts after a failed one.
+	Retries int
+	// Failovers counts answers ultimately obtained from a replica other
+	// than the partition's current primary.
+	Failovers int
+	// Hedges counts backup requests fired because the primary attempt
+	// exceeded the hedge latency threshold.
+	Hedges int
+	// HedgeWins counts hedged requests whose answer was the one used —
+	// the primary was slower or never answered.
+	HedgeWins int
+	// Timeouts counts partition calls abandoned because the per-query
+	// deadline or the retry budget ran out mid-flight.
+	Timeouts int
+	// Lost counts partition calls that produced no usable answer at all:
+	// every attempt failed or timed out, so the partition contributed
+	// nothing to the merged result.
+	Lost int
+}
+
+// Merge folds o into c.
+func (c *FaultCounters) Merge(o FaultCounters) {
+	c.FaultsSeen += o.FaultsSeen
+	c.Retries += o.Retries
+	c.Failovers += o.Failovers
+	c.Hedges += o.Hedges
+	c.HedgeWins += o.HedgeWins
+	c.Timeouts += o.Timeouts
+	c.Lost += o.Lost
+}
+
+// String renders the counters in one report line.
+func (c FaultCounters) String() string {
+	return fmt.Sprintf("faults=%d retries=%d failovers=%d hedges=%d hedgeWins=%d timeouts=%d lost=%d",
+		c.FaultsSeen, c.Retries, c.Failovers, c.Hedges, c.HedgeWins, c.Timeouts, c.Lost)
+}
+
+// DefaultLatencyBounds are histogram bucket upper bounds (milliseconds)
+// that cover the query path's latency range: sub-millisecond cache hits
+// through multi-second straggler and timeout tails.
+func DefaultLatencyBounds() []float64 {
+	return []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+}
+
+// LatencyByPart is a per-partition latency histogram: one Histogram per
+// partition/server/site, plus quantile lookups the hedging policy uses
+// to decide when a partition call counts as a straggler. Callers
+// synchronize externally (engines touch it only at their serial gather
+// point).
+type LatencyByPart struct {
+	hists  []*Histogram
+	bounds []float64
+}
+
+// NewLatencyByPart creates histograms for `parts` partitions with the
+// given bucket upper bounds (nil picks DefaultLatencyBounds).
+func NewLatencyByPart(parts int, bounds []float64) *LatencyByPart {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	l := &LatencyByPart{bounds: append([]float64(nil), bounds...)}
+	l.hists = make([]*Histogram, parts)
+	for i := range l.hists {
+		l.hists[i] = NewHistogram(l.bounds)
+	}
+	return l
+}
+
+// Parts returns the number of partitions tracked.
+func (l *LatencyByPart) Parts() int { return len(l.hists) }
+
+// Add records one observed call latency for partition p.
+func (l *LatencyByPart) Add(p int, ms float64) {
+	if p >= 0 && p < len(l.hists) {
+		l.hists[p].Add(ms)
+	}
+}
+
+// Hist exposes partition p's histogram (nil when out of range).
+func (l *LatencyByPart) Hist(p int) *Histogram {
+	if p < 0 || p >= len(l.hists) {
+		return nil
+	}
+	return l.hists[p]
+}
+
+// Quantile returns the upper bound of the bucket containing partition
+// p's q-quantile — a conservative (rounded-up) quantile estimate. It
+// returns 0 when the partition has no observations yet, and +Inf when
+// the quantile falls in the overflow bucket.
+func (l *LatencyByPart) Quantile(p int, q float64) float64 {
+	h := l.Hist(p)
+	if h == nil || h.Total() == 0 {
+		return 0
+	}
+	need := int(math.Ceil(q * float64(h.Total())))
+	if need < 1 {
+		need = 1
+	}
+	cum := 0
+	for i, b := range l.bounds {
+		cum += h.Count(i)
+		if cum >= need {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// Totals returns the per-partition observation counts.
+func (l *LatencyByPart) Totals() []int {
+	out := make([]int, len(l.hists))
+	for i, h := range l.hists {
+		out[i] = h.Total()
+	}
+	return out
+}

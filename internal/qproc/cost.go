@@ -56,6 +56,13 @@ type QueryResult struct {
 	FromCache        bool
 	Stale            bool // answered from cache beyond its freshness TTL
 	Degraded         bool // some selected servers were down; partial answer
+	Retries          int  // partition-call retries the fault policy spent
+	Hedges           int  // hedged backup requests the fault policy fired
+	// Err is set when the engine could not produce an acceptable answer:
+	// ErrUnavailable under a fail-fast fault policy, ErrAllSitesDown when
+	// a multi-site query found no reachable processor. Inspect with
+	// errors.Is; nil for every served answer, including degraded ones.
+	Err error
 }
 
 // resultBytes estimates the wire size of a result list (doc ID + score).

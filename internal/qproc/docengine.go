@@ -35,19 +35,38 @@ type DocEngine struct {
 	busyMs    []float64
 	downs     []bool
 	queries   int
+	degraded  int
+	failed    int
 	partition partition.DocPartition
 	// rcache is the broker-level result cache (level 1); pcaches are the
 	// per-partition-server posting-list caches (level 2). Both nil by
-	// default; configure before serving queries.
+	// default; configure at construction (WithResultCache /
+	// WithPostingsCache).
 	rcache  *ResultCache
 	pcaches []*index.PostingsCache
+	// rb is the robustness runtime (deadline/retry/hedge policy over the
+	// fault-injection layer); nil unless fault options were given, in
+	// which case partition calls route through it at the gather point.
+	rb *robustness
+	// topkOpts are the per-query options QueryTopK (the uniform Engine
+	// surface) uses; K is overridden per call.
+	topkOpts DocQueryOptions
 }
 
 // NewDocEngine builds per-partition indexes from docs according to the
 // document partition; the K partition indexes are constructed
 // concurrently. Documents not present in the partition assignment are
-// dropped.
-func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartition) (*DocEngine, error) {
+// dropped. Configuration is by functional options — e.g.
+//
+//	NewDocEngine(opts, docs, dp,
+//	    WithWorkers(8),
+//	    WithResultCache(ResultCacheConfig{Capacity: 4096}),
+//	    WithFaultPolicy(DefaultFaultPolicy()),
+//	    WithInjector(inj))
+//
+// — applied on top of the ambient defaults (SetDefaultOptions).
+func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartition, options ...Option) (*DocEngine, error) {
+	eo := resolveOptions(options)
 	builders := make([]*index.Builder, dp.K)
 	for i := range builders {
 		builders[i] = index.NewBuilder(opts)
@@ -62,10 +81,11 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	e := &DocEngine{
 		cost:      DefaultCostModel(),
 		lanMs:     0.3,
-		workers:   DefaultWorkers(),
+		workers:   eo.workers,
 		busyMs:    make([]float64, dp.K),
 		downs:     make([]bool, dp.K),
 		partition: dp,
+		topkOpts:  DocQueryOptions{Stats: GlobalPrecomputed},
 	}
 	e.parts = index.BuildAll(builders, e.workers)
 	stats := make([]index.Stats, len(e.parts))
@@ -76,7 +96,12 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	if e.global.NumDocs == 0 {
 		return nil, fmt.Errorf("qproc: document partition covers no documents")
 	}
-	applyDefaultCaches(e.SetResultCache, e.SetPostingsCache)
+	e.rcache = eo.resultCache()
+	e.SetPostingsCache(eo.plBytes)
+	e.rb = eo.robust(dp.K)
+	if eo.docDefault != nil {
+		e.topkOpts = *eo.docDefault
+	}
 	return e, nil
 }
 
@@ -96,6 +121,8 @@ func (e *DocEngine) GlobalStats() index.Stats { return e.global }
 // evaluations run on up to n goroutines. n = 1 is the serial broker,
 // n <= 0 resets to GOMAXPROCS. Any width produces identical results and
 // accounting; only wall-clock time changes.
+//
+// Deprecated: pass WithWorkers(n) to NewDocEngine.
 func (e *DocEngine) SetWorkers(n int) { e.workers = n }
 
 // Workers reports the configured fan-out width (0 = GOMAXPROCS).
@@ -107,6 +134,10 @@ func (e *DocEngine) Workers() int { return e.workers }
 // using all the sub-collections". Topology changes invalidate the result
 // cache: entries computed against the old liveness would otherwise mask
 // the change (recovered servers' documents missing, etc.).
+//
+// Deprecated: inject failures with WithInjector and faultsim outage
+// windows (faultsim.Window) instead; SetDown remains for static
+// topology experiments.
 func (e *DocEngine) SetDown(p int, down bool) {
 	e.mu.Lock()
 	e.downs[p] = down
@@ -119,6 +150,9 @@ func (e *DocEngine) SetDown(p int, down bool) {
 // SetResultCache installs (or, with nil, removes) the broker-level
 // result cache. Configure before serving queries; degraded answers are
 // never cached.
+//
+// Deprecated: pass WithResultCache / WithResultCacheInstance to
+// NewDocEngine.
 func (e *DocEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
 
 // ResultCache returns the installed result cache (nil if none).
@@ -128,6 +162,8 @@ func (e *DocEngine) ResultCache() *ResultCache { return e.rcache }
 // bytesPerPartition bytes of decoded postings (<= 0 removes the caches).
 // Cached and uncached evaluation return byte-identical results; only
 // decode work is saved. Configure before serving queries.
+//
+// Deprecated: pass WithPostingsCache(n) to NewDocEngine.
 func (e *DocEngine) SetPostingsCache(bytesPerPartition int64) {
 	if bytesPerPartition <= 0 {
 		e.pcaches = nil
@@ -238,6 +274,10 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	}
 	e.mu.Lock()
 	e.queries++
+	// tick is the fault-schedule clock: decision i of the injector's
+	// timeline. Captured under the lock so every query sees a distinct,
+	// reproducible tick regardless of worker interleaving.
+	tick := int64(e.queries)
 	live := targets[:0]
 	for _, p := range targets {
 		if e.downs[p] {
@@ -250,6 +290,10 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	targets = live
 	qr.ServersContacted = len(targets)
 	if len(targets) == 0 {
+		if e.rb != nil && e.rb.policy.Mode == FailFast && qr.Degraded {
+			qr.Err = fmt.Errorf("all selected partitions down: %w", ErrUnavailable)
+		}
+		e.noteOutcome(&qr)
 		return qr
 	}
 
@@ -315,13 +359,37 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	})
 	lists := make([][]rank.Result, len(targets))
 	var slowest float64
+	lost := 0
 	e.mu.Lock()
 	for i, p := range targets {
 		es := evals[i].es
 		service := e.cost.ServiceMs(es.PostingsDecoded)
-		e.busyMs[p] += service
-		if t := e.lanMs + service; t > slowest {
-			slowest = t
+		if e.rb != nil {
+			// Robust path: the call's fate (retries, hedges, failover,
+			// latency, or loss) is simulated deterministically from the
+			// engine tick. A clean call costs exactly lanMs+service, so
+			// with zero faults injected this path is byte-identical to
+			// the plain one below.
+			cr := e.rb.call(tick, p, e.lanMs, service)
+			qr.Retries += cr.retries
+			qr.Hedges += cr.hedges
+			if cr.latencyMs > slowest {
+				slowest = cr.latencyMs
+			}
+			if !cr.ok {
+				// The partition never answered within budget: its
+				// contribution is lost and its server did no accountable
+				// work for this query.
+				e.rb.lost()
+				lost++
+				continue
+			}
+			e.busyMs[p] += service
+		} else {
+			e.busyMs[p] += service
+			if t := e.lanMs + service; t > slowest {
+				slowest = t
+			}
 		}
 		qr.PostingsDecoded += es.PostingsDecoded
 		qr.ListsAccessed += es.ListsAccessed
@@ -332,10 +400,33 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	e.mu.Unlock()
 	qr.Results = rank.MergeResults(opt.K, lists...)
 	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval + reply
-	if e.rcache != nil && !qr.Degraded {
+	if lost > 0 || (qr.Degraded && e.rb != nil && e.rb.policy.Mode == FailFast) {
+		if e.rb.policy.Mode == FailFast {
+			qr.Err = fmt.Errorf("%d of %d partitions unavailable: %w", lost, len(targets), ErrUnavailable)
+			qr.Results = nil
+		} else {
+			qr.Degraded = true
+		}
+	}
+	if e.rcache != nil && !qr.Degraded && qr.Err == nil {
 		// Degraded answers are partial; caching them would keep serving
 		// the partial ranking after the servers recover.
 		e.rcache.Put(ckey, qr)
 	}
+	e.noteOutcome(&qr)
 	return qr
+}
+
+// noteOutcome tallies degraded/failed answers for EngineStats.
+func (e *DocEngine) noteOutcome(qr *QueryResult) {
+	if qr.Err == nil && !qr.Degraded {
+		return
+	}
+	e.mu.Lock()
+	if qr.Err != nil {
+		e.failed++
+	} else {
+		e.degraded++
+	}
+	e.mu.Unlock()
 }

@@ -1,13 +1,22 @@
 package qproc
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"dwr/internal/cache"
 	"dwr/internal/cluster"
 	"dwr/internal/conc"
+	"dwr/internal/faultsim"
 	"dwr/internal/rank"
 )
+
+// ErrAllSitesDown is returned (via SiteQueryResult.Err) when a
+// multi-site query finds no reachable processor anywhere: no coordinator
+// up, no executor up, or the executing engine had every partition down.
+// Inspect with errors.Is; a stale-cache rescue clears it.
+var ErrAllSitesDown = errors.New("qproc: all sites down")
 
 // Site is one geographic installation (Figure 3): a coordinator, a
 // result cache, and a full query-processing replica, subject to the
@@ -102,8 +111,53 @@ type MultiSite struct {
 	// at any width: site engines are independent, and the stateful WAN
 	// latency model is only consulted serially at the gather point.
 	Workers int
+	// Now and HomeRegion are the virtual hour and origin region
+	// QueryTopK (the uniform Engine surface) submits from; drivers that
+	// model time and geography explicitly use Submit directly.
+	Now        float64
+	HomeRegion int
 
 	rrNext int
+
+	// Site-level fault handling (set via NewMultiSite options): the
+	// injector's units are site IDs, and failed attempts walk the other
+	// up sites nearest the coordinator. rb is built lazily at the first
+	// Submit so sites may be appended after construction; ticks is the
+	// fault-schedule clock (Submit is single-caller, like rrNext).
+	faultPolicy *FaultPolicy
+	injector    *faultsim.Injector
+	rb          *robustness
+	ticks       int64
+}
+
+// NewMultiSite builds an empty multi-site system over net with the given
+// routing policy; append Sites afterwards. Options configure the
+// site-level fault path (WithFaultPolicy, WithInjector) and the
+// QueryIncremental fan-out (WithWorkers); engine/cache options are
+// per-site and ignored here.
+func NewMultiSite(net *cluster.Network, routing RoutingPolicy, options ...Option) *MultiSite {
+	eo := resolveOptions(options)
+	m := &MultiSite{
+		Net:         net,
+		Policy:      routing,
+		Workers:     eo.workers,
+		faultPolicy: eo.policy,
+		injector:    eo.injector,
+	}
+	return m
+}
+
+// siteRB lazily materializes the site-level robustness runtime once the
+// site count is known (nil when no fault options were given).
+func (m *MultiSite) siteRB() *robustness {
+	if m.rb == nil && (m.faultPolicy != nil || m.injector != nil) && len(m.Sites) > 0 {
+		p := DefaultFaultPolicy()
+		if m.faultPolicy != nil {
+			p = *m.faultPolicy
+		}
+		m.rb = newRobustness(p, m.injector, len(m.Sites))
+	}
+	return m.rb
 }
 
 // SiteQueryResult is a query outcome at the multi-site level.
@@ -123,11 +177,14 @@ type SiteQueryResult struct {
 // rewrite it after the main path has decided to fail.
 func (m *MultiSite) Submit(terms []string, key string, region int, atHours float64, k int) (out SiteQueryResult) {
 	out.Executor = -1
+	m.ticks++
+	tick := m.ticks
 
 	coord := m.nearestUp(region, atHours)
 	if coord < 0 {
 		// No coordinator reachable at all.
 		out.Failed = true
+		out.Err = ErrAllSitesDown
 		return out
 	}
 	out.Coordinator = coord
@@ -156,6 +213,7 @@ func (m *MultiSite) Submit(terms []string, key string, region int, atHours float
 					out.FromCache = true
 					out.Stale = true
 					out.Failed = false
+					out.Err = nil
 				}
 			}()
 		}
@@ -164,7 +222,64 @@ func (m *MultiSite) Submit(terms []string, key string, region int, atHours float
 	exec := m.chooseExecutor(coord, atHours)
 	if exec < 0 {
 		out.Failed = true
+		out.Err = ErrAllSitesDown
 		return out
+	}
+	if rb := m.siteRB(); rb != nil {
+		// Site-level robustness: the chosen executor may be crashed,
+		// flaky, or inside an outage window per the injector; failed
+		// attempts retry against the next-nearest up site. Failure
+		// detection costs AttemptTimeoutMs when the site died silently,
+		// or a WAN round trip when it answered with an error.
+		tried := make(map[int]bool)
+		first, cur, ok := exec, exec, false
+		for a := 0; a <= rb.policy.MaxRetries; a++ {
+			if a > 0 {
+				rb.counters.Retries++
+				out.Retries++
+				out.LatencyMs += rb.policy.BackoffMs * float64(int(1)<<uint(a-1))
+			}
+			fo := rb.outcome(tick, cur, 0, a)
+			if fo.Err == nil {
+				out.LatencyMs += fo.ExtraMs
+				ok = true
+				break
+			}
+			rb.counters.FaultsSeen++
+			tried[cur] = true
+			if fo.Silent {
+				out.LatencyMs += rb.policy.AttemptTimeoutMs
+			} else {
+				out.LatencyMs += m.Net.Latency(m.Sites[coord].Region, m.Sites[cur].Region, 64) + fo.ExtraMs
+			}
+			next, bestDist := -1, math.MaxInt32
+			for _, s := range m.Sites {
+				if tried[s.ID] || !s.UpAt(atHours) {
+					continue
+				}
+				d := s.Region - m.Sites[coord].Region
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDist || (d == bestDist && (next < 0 || s.ID < next)) {
+					next, bestDist = s.ID, d
+				}
+			}
+			if next < 0 {
+				break
+			}
+			cur = next
+		}
+		if !ok {
+			rb.counters.Lost++
+			out.Failed = true
+			out.Err = fmt.Errorf("no site answered within the fault budget: %w", ErrAllSitesDown)
+			return out
+		}
+		if cur != first {
+			rb.counters.Failovers++
+		}
+		exec = cur
 	}
 	out.Executor = exec
 	x := m.Sites[exec]
@@ -186,11 +301,28 @@ func (m *MultiSite) Submit(terms []string, key string, region int, atHours float
 	out.PostingsDecoded = qr.PostingsDecoded
 	out.PostingBytesRead = qr.PostingBytesRead
 	out.BytesTransferred = qr.BytesTransferred
+	out.Degraded = qr.Degraded
+	out.Retries += qr.Retries
+	out.Hedges += qr.Hedges
 	out.LatencyMs += qr.LatencyMs + out.QueueMs
 	if exec != coord {
 		out.LatencyMs += m.Net.Latency(x.Region, c.Region, int(resultBytes(len(qr.Results))))
 	}
-	if m.CacheTTL > 0 {
+	switch {
+	case qr.Err != nil:
+		// The engine's fault policy refused the answer (fail-fast).
+		out.Err = qr.Err
+	case qr.ServersContacted == 0 && len(qr.Results) == 0 && !qr.FromCache:
+		// Every partition of the executing replica is down: nothing
+		// anywhere could answer. The deferred stale fallback may still
+		// rescue this.
+		out.Err = fmt.Errorf("site %d has no live query processors: %w", exec, ErrAllSitesDown)
+	}
+	if m.CacheTTL > 0 && out.Err == nil && !qr.Degraded {
+		// Degraded or refused answers are never cached: a partial result
+		// stored here would keep serving after the processors recover,
+		// and would clobber a fresher complete entry used for stale
+		// fallback.
 		c.Cache.Put(key, qr.Results, atHours)
 	}
 	return out

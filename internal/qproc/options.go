@@ -1,0 +1,184 @@
+package qproc
+
+import (
+	"sync"
+
+	"dwr/internal/faultsim"
+)
+
+// Option configures an engine at construction. The same options apply
+// to DocEngine, TermEngine, and MultiSite (options that do not apply to
+// an engine kind are ignored): pass them to NewDocEngine /
+// NewTermEngine / NewMultiSite after the positional arguments.
+//
+// This is the one configuration surface; the historical setter API
+// (SetWorkers, SetResultCache, SetPostingsCache, and the package-level
+// cache defaults) remains as thin deprecated shims over it.
+type Option func(*engineOptions)
+
+// engineOptions is the resolved construction-time configuration.
+type engineOptions struct {
+	workers    int
+	haveWork   bool
+	rcCfg      *ResultCacheConfig
+	rcInstance *ResultCache
+	rcSet      bool // an option explicitly decided the result cache
+	plBytes    int64
+	plSet      bool
+	policy     *FaultPolicy
+	injector   *faultsim.Injector
+	docDefault *DocQueryOptions
+}
+
+// WithWorkers sets the engine's fan-out width: partition evaluations
+// (and index construction) run on up to n goroutines. n = 1 is the
+// serial broker, n <= 0 means GOMAXPROCS. Results and accounting are
+// identical at any width.
+func WithWorkers(n int) Option {
+	return func(o *engineOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.workers = n
+		o.haveWork = true
+	}
+}
+
+// WithResultCache gives the engine a broker-level result cache built
+// from cfg. Degraded or failed answers are never cached.
+func WithResultCache(cfg ResultCacheConfig) Option {
+	return func(o *engineOptions) {
+		c := cfg
+		c.StaticKeys = append([]string(nil), cfg.StaticKeys...)
+		o.rcCfg = &c
+		o.rcInstance = nil
+		o.rcSet = true
+	}
+}
+
+// WithResultCacheInstance installs a prebuilt (possibly pre-warmed)
+// result cache; nil explicitly disables the result cache, overriding
+// any ambient default.
+func WithResultCacheInstance(rc *ResultCache) Option {
+	return func(o *engineOptions) {
+		o.rcInstance = rc
+		o.rcCfg = nil
+		o.rcSet = true
+	}
+}
+
+// WithPostingsCache gives every partition/term server a posting-list
+// cache of bytesPerServer bytes of decoded postings (<= 0 disables,
+// overriding any ambient default). Cached and uncached evaluation
+// return byte-identical results; only decode work is saved.
+func WithPostingsCache(bytesPerServer int64) Option {
+	return func(o *engineOptions) {
+		if bytesPerServer < 0 {
+			bytesPerServer = 0
+		}
+		o.plBytes = bytesPerServer
+		o.plSet = true
+	}
+}
+
+// WithFaultPolicy activates the robustness policy on the engine's
+// partition/site calls: per-query deadline budgets, bounded retries
+// with backoff across replicas, hedged backup requests, and the
+// explicit fail-fast / best-effort degradation mode. Combine with
+// WithInjector to exercise the policy under injected faults; without an
+// injector the policy only engages on genuinely slow partitions (and an
+// all-zero policy leaves results byte-identical to a plain engine).
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(o *engineOptions) {
+		pp := p.normalized()
+		o.policy = &pp
+	}
+}
+
+// WithInjector wires a deterministic fault-injection layer (see
+// internal/faultsim) under the engine's partition/site calls. If no
+// FaultPolicy was configured, DefaultFaultPolicy() applies.
+func WithInjector(in *faultsim.Injector) Option {
+	return func(o *engineOptions) { o.injector = in }
+}
+
+// WithDocQueryDefaults sets the DocQueryOptions used when a DocEngine
+// is driven through the uniform Engine interface (QueryTopK). The K
+// field is overridden per call. Other engines ignore it.
+func WithDocQueryDefaults(opt DocQueryOptions) Option {
+	return func(o *engineOptions) {
+		d := opt
+		o.docDefault = &d
+	}
+}
+
+// Ambient construction defaults: a single option list CLIs set once so
+// every engine constructed afterwards (including deep inside
+// experiments or core) starts from the same configuration.
+var (
+	defaultOptMu sync.Mutex
+	defaultOpts  []Option
+)
+
+// SetDefaultOptions replaces the ambient default option list applied at
+// the start of every engine construction (per-call options win).
+// Command-line tools call this once from their flags; pass nothing to
+// clear.
+func SetDefaultOptions(opts ...Option) {
+	defaultOptMu.Lock()
+	defaultOpts = append([]Option(nil), opts...)
+	defaultOptMu.Unlock()
+}
+
+// resolveOptions folds the deprecated package-level defaults, the
+// ambient default options, and the per-call options (in that order of
+// increasing precedence) into one resolved configuration.
+func resolveOptions(opts []Option) engineOptions {
+	eo := engineOptions{workers: int(defaultWorkers.Load())}
+	// Deprecated cache defaults (SetDefaultResultCache /
+	// SetDefaultPostingsCacheBytes) form the base layer.
+	defaultCacheMu.Lock()
+	if defaultRCConfig != nil {
+		c := *defaultRCConfig
+		c.StaticKeys = append([]string(nil), defaultRCConfig.StaticKeys...)
+		eo.rcCfg = &c
+	}
+	defaultCacheMu.Unlock()
+	if n := defaultPLBytes.Load(); n > 0 {
+		eo.plBytes = n
+	}
+	defaultOptMu.Lock()
+	ambient := defaultOpts
+	defaultOptMu.Unlock()
+	for _, o := range ambient {
+		o(&eo)
+	}
+	for _, o := range opts {
+		o(&eo)
+	}
+	return eo
+}
+
+// resultCache materializes the configured result cache (nil = none).
+func (o *engineOptions) resultCache() *ResultCache {
+	if o.rcInstance != nil {
+		return o.rcInstance
+	}
+	if o.rcCfg != nil {
+		return NewResultCache(*o.rcCfg)
+	}
+	return nil
+}
+
+// robust materializes the robustness runtime for an engine with k units
+// (nil when no fault options were given).
+func (o *engineOptions) robust(k int) *robustness {
+	if o.policy == nil && o.injector == nil {
+		return nil
+	}
+	p := DefaultFaultPolicy()
+	if o.policy != nil {
+		p = *o.policy
+	}
+	return newRobustness(p, o.injector, k)
+}

@@ -27,30 +27,40 @@ import (
 // paper's comparison against scatter-gather is unchanged at any worker
 // count.
 type TermEngine struct {
-	cost    CostModel
-	lanMs   float64
-	tp      partition.TermPartition
-	servers []*index.Index
-	scorer  *rank.Scorer // term-partitioned servers know exact global stats
-	workers int
-	mu      sync.Mutex
-	busyMs  []float64
-	queries int
+	cost     CostModel
+	lanMs    float64
+	tp       partition.TermPartition
+	servers  []*index.Index
+	scorer   *rank.Scorer // term-partitioned servers know exact global stats
+	workers  int
+	mu       sync.Mutex
+	busyMs   []float64
+	queries  int
+	degraded int
+	failed   int
 	// rcache caches complete results at the broker; pcaches cache
 	// decoded posting lists per term server. Both nil by default.
 	rcache  *ResultCache
 	pcaches []*index.PostingsCache
+	// rb is the robustness runtime; nil unless fault options were given.
+	// A lost pipeline hop is bypassed: its terms' contributions are
+	// missing from the accumulator, so the answer is Degraded.
+	rb *robustness
 }
 
 // NewTermEngine builds per-server term-sliced indexes from docs under
 // the given term partition; the K server indexes are constructed
 // concurrently. Every server's index carries the full document table
 // (with true document lengths) but only its own terms' postings,
-// matching the vertical slicing of Figure 1.
-func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartition) (*TermEngine, error) {
+// matching the vertical slicing of Figure 1. Configuration is by
+// functional options (WithWorkers, WithResultCache, WithPostingsCache,
+// WithFaultPolicy, WithInjector), applied on top of the ambient
+// defaults (SetDefaultOptions).
+func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartition, options ...Option) (*TermEngine, error) {
 	if tp.K <= 0 {
 		return nil, fmt.Errorf("qproc: term partition with no servers")
 	}
+	eo := resolveOptions(options)
 	builders := make([]*index.Builder, tp.K)
 	for i := range builders {
 		builders[i] = index.NewBuilder(opts)
@@ -67,7 +77,7 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 		cost:    DefaultCostModel(),
 		lanMs:   0.3,
 		tp:      tp,
-		workers: DefaultWorkers(),
+		workers: eo.workers,
 		busyMs:  make([]float64, tp.K),
 	}
 	e.servers = index.BuildAll(builders, e.workers)
@@ -81,7 +91,9 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 	merged.NumDocs = e.servers[0].NumDocs()
 	merged.TotalLen = e.servers[0].TotalLen()
 	e.scorer = rank.NewScorer(rank.FromGlobal(merged))
-	applyDefaultCaches(e.SetResultCache, e.SetPostingsCache)
+	e.rcache = eo.resultCache()
+	e.SetPostingsCache(eo.plBytes)
+	e.rb = eo.robust(tp.K)
 	return e, nil
 }
 
@@ -90,6 +102,8 @@ func (e *TermEngine) K() int { return len(e.servers) }
 
 // SetWorkers sets the per-query fan-out width (1 = serial, <=0 =
 // GOMAXPROCS). Results and accounting are identical at any width.
+//
+// Deprecated: pass WithWorkers(n) to NewTermEngine.
 func (e *TermEngine) SetWorkers(n int) { e.workers = n }
 
 // Workers reports the configured fan-out width (0 = GOMAXPROCS).
@@ -97,6 +111,9 @@ func (e *TermEngine) Workers() int { return e.workers }
 
 // SetResultCache installs (or, with nil, removes) the broker-level
 // result cache. Configure before serving queries.
+//
+// Deprecated: pass WithResultCache / WithResultCacheInstance to
+// NewTermEngine.
 func (e *TermEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
 
 // ResultCache returns the installed result cache (nil if none).
@@ -105,6 +122,8 @@ func (e *TermEngine) ResultCache() *ResultCache { return e.rcache }
 // SetPostingsCache gives every term server a posting-list cache of
 // bytesPerServer bytes of decoded postings (<= 0 removes the caches).
 // Configure before serving queries.
+//
+// Deprecated: pass WithPostingsCache(n) to NewTermEngine.
 func (e *TermEngine) SetPostingsCache(bytesPerServer int64) {
 	if bytesPerServer <= 0 {
 		e.pcaches = nil
@@ -234,16 +253,53 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	// shared because every server indexed the same document list.
 	acc := make(map[int]float64)
 	latency := 0.0
+	lost := 0
 	e.mu.Lock()
 	e.queries++
+	tick := int64(e.queries)
 	for i, s := range route {
 		h := &hops[i]
-		for _, en := range h.entries {
-			acc[en.doc] += en.delta
+		if e.rb != nil {
+			// The hop's service cost depends on the accumulator size the
+			// server would forward, so compute it prospectively (without
+			// folding) — on success the fold below produces exactly this
+			// size, keeping the zero-fault path byte-identical.
+			var added []int
+			for _, en := range h.entries {
+				if _, ok := acc[en.doc]; !ok {
+					acc[en.doc] = 0
+					added = append(added, en.doc)
+				}
+			}
+			service := e.cost.ServiceMs(h.postings) + e.cost.AccumulatorMs(len(acc))
+			cr := e.rb.call(tick, s, e.lanMs, service)
+			qr.Retries += cr.retries
+			qr.Hedges += cr.hedges
+			latency += cr.latencyMs
+			if !cr.ok {
+				// Lost hop: the pipeline routes around the server, so its
+				// terms' contributions are missing downstream. Undo the
+				// prospective placeholder entries so they don't inflate
+				// the accumulator.
+				for _, d := range added {
+					delete(acc, d)
+				}
+				e.rb.lost()
+				lost++
+				continue
+			}
+			for _, en := range h.entries {
+				acc[en.doc] += en.delta
+			}
+			e.busyMs[s] += service
+		} else {
+			for _, en := range h.entries {
+				acc[en.doc] += en.delta
+			}
+			service := e.cost.ServiceMs(h.postings) + e.cost.AccumulatorMs(len(acc))
+			e.busyMs[s] += service
+			latency += e.lanMs + service
 		}
-		service := e.cost.ServiceMs(h.postings) + e.cost.AccumulatorMs(len(acc))
-		e.busyMs[s] += service
-		latency += e.lanMs + service
 		qr.ListsAccessed += h.lists
 		qr.PostingsDecoded += h.postings
 		qr.PostingBytesRead += h.bytesRead
@@ -264,8 +320,25 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	}
 	qr.Results = rs
 	qr.LatencyMs = latency
-	if e.rcache != nil {
+	if lost > 0 {
+		if e.rb.policy.Mode == FailFast {
+			qr.Err = fmt.Errorf("%d of %d pipeline hops unavailable: %w", lost, len(route), ErrUnavailable)
+			qr.Results = nil
+		} else {
+			qr.Degraded = true
+		}
+	}
+	if e.rcache != nil && !qr.Degraded && qr.Err == nil {
 		e.rcache.Put(ckey, qr)
+	}
+	if qr.Err != nil || qr.Degraded {
+		e.mu.Lock()
+		if qr.Err != nil {
+			e.failed++
+		} else {
+			e.degraded++
+		}
+		e.mu.Unlock()
 	}
 	return qr
 }

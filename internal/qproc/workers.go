@@ -5,6 +5,13 @@ import (
 	"sync/atomic"
 )
 
+// This file holds the deprecated package-level construction defaults.
+// New code configures engines with functional options at construction
+// (WithWorkers, WithResultCache, WithPostingsCache, WithFaultPolicy)
+// and sets ambient CLI-wide defaults with SetDefaultOptions; these
+// shims remain so existing callers keep compiling and behaving
+// identically.
+
 // defaultWorkers is the fan-out width newly constructed engines start
 // with; 0 means GOMAXPROCS.
 var defaultWorkers atomic.Int32
@@ -12,10 +19,11 @@ var defaultWorkers atomic.Int32
 // SetDefaultWorkers sets the broker fan-out width that newly
 // constructed engines (DocEngine, TermEngine) start with: 1 forces the
 // serial broker, 0 restores GOMAXPROCS. Existing engines are
-// unaffected; use their SetWorkers method. Command-line tools expose
-// this as a -workers flag so every experiment can be replayed serially
-// or in parallel without code changes — results are identical either
-// way, by the gather-point determinism contract (see internal/conc).
+// unaffected. Results are identical at any width, by the gather-point
+// determinism contract (see internal/conc).
+//
+// Deprecated: use SetDefaultOptions(WithWorkers(n)) or pass
+// WithWorkers(n) to the engine constructor.
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -27,11 +35,8 @@ func SetDefaultWorkers(n int) {
 // (0 = GOMAXPROCS).
 func DefaultWorkers() int { return int(defaultWorkers.Load()) }
 
-// Engine-construction cache defaults, the -cachecap/-cachettl/
-// -cacheshards story for command-line tools: set once from flags, and
-// every engine constructed afterwards starts with the configured
-// caches. Both default to disabled, preserving the accounting of
-// existing experiments exactly.
+// Engine-construction cache defaults. Both default to disabled,
+// preserving the accounting of existing experiments exactly.
 var (
 	defaultCacheMu  sync.Mutex
 	defaultRCConfig *ResultCacheConfig
@@ -43,6 +48,9 @@ var (
 // The config is copied; SDC static keys are workload-specific, so CLIs
 // that want a warmed SDC should build the cache themselves (see
 // internal/core).
+//
+// Deprecated: use SetDefaultOptions(WithResultCache(cfg)) or pass
+// WithResultCache(cfg) to the engine constructor.
 func SetDefaultResultCache(cfg *ResultCacheConfig) {
 	defaultCacheMu.Lock()
 	defer defaultCacheMu.Unlock()
@@ -57,23 +65,12 @@ func SetDefaultResultCache(cfg *ResultCacheConfig) {
 
 // SetDefaultPostingsCacheBytes sets the per-server posting-list cache
 // budget newly constructed engines start with (0 disables).
+//
+// Deprecated: use SetDefaultOptions(WithPostingsCache(n)) or pass
+// WithPostingsCache(n) to the engine constructor.
 func SetDefaultPostingsCacheBytes(n int64) {
 	if n < 0 {
 		n = 0
 	}
 	defaultPLBytes.Store(n)
-}
-
-// applyDefaultCaches installs the configured default caches on a new
-// engine via its setters.
-func applyDefaultCaches(setRC func(*ResultCache), setPL func(int64)) {
-	defaultCacheMu.Lock()
-	cfg := defaultRCConfig
-	defaultCacheMu.Unlock()
-	if cfg != nil {
-		setRC(NewResultCache(*cfg))
-	}
-	if n := defaultPLBytes.Load(); n > 0 {
-		setPL(n)
-	}
 }
