@@ -7,6 +7,7 @@
 //	dwrbench -list      # list experiment IDs and titles
 //	dwrbench -exp F2    # run one experiment (T1, F1, F2, F5, F6, C1..C14)
 //	dwrbench -faults    # run the fault-injection scenario suite
+//	dwrbench -serve     # run the serving front-end capacity sweep
 package main
 
 import (
@@ -30,6 +31,11 @@ func main() {
 	plCache := flag.Int64("plcache", 0, "per-server posting-list cache in bytes of decoded postings (0 = off; results are identical, only decode work changes)")
 	faults := flag.Bool("faults", false, "run the fault-injection scenario suite: availability and tail latency under crash/flaky/slow/outage schedules (deterministic for a fixed -faultseed)")
 	faultSeed := flag.Int64("faultseed", 42, "fault-schedule seed for -faults")
+	serve := flag.Bool("serve", false, "run the serving front-end capacity sweep: open-loop load at multiples of the G/G/c bound c/E[S], validating saturation and graceful degradation (deterministic for a fixed -serveseed)")
+	serveC := flag.Int("servec", 150, "front-end worker pool width c for -serve (the paper's 150-thread Apache configuration)")
+	serveN := flag.Int("serven", 6000, "arrivals per rate point for -serve")
+	serveRates := flag.String("serverates", "0.3,0.6,0.9,1.1,1.5,2.0", "comma-separated multipliers of the capacity bound for -serve")
+	serveSeed := flag.Int64("serveseed", 42, "workload seed for -serve")
 	flag.Parse()
 	var defaults []qproc.Option
 	defaults = append(defaults, qproc.WithWorkers(*workers))
@@ -53,6 +59,15 @@ func main() {
 
 	if *faults {
 		if err := runFaultScenarios(os.Stdout, *faultSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serve {
+		opts := serveOptions{c: *serveC, n: *serveN, rates: *serveRates, seed: *serveSeed}
+		if err := runServeSweep(os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(1)
 		}

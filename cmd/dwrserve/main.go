@@ -1,0 +1,83 @@
+// Command dwrserve builds a complete distributed Web retrieval engine —
+// synthetic Web, distributed crawl, partitioned index — and serves it
+// over HTTP behind the full serving front-end: a bounded worker pool
+// (the paper's G/G/c model), token-bucket admission control, a bounded
+// wait queue with interactive/batch priorities, adaptive latency-SLO
+// load shedding, and per-request deadlines propagated into the engine.
+//
+// Usage:
+//
+//	dwrserve                      # serve on :8080 with defaults
+//	dwrserve -addr :9090 -c 150 -deadline 100 -shedtarget 50
+//
+// Endpoints:
+//
+//	GET /search?q=terms[&k=10][&class=batch]   ranked results (JSON)
+//	GET /stats                                 front-end + engine counters
+//	GET /healthz                               engine partition liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dwr/internal/core"
+	"dwr/internal/qproc"
+	"dwr/internal/server"
+	"dwr/internal/textproc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	c := flag.Int("c", 150, "worker pool width (the G/G/c 'c'; the paper's 150-thread Apache configuration)")
+	queueCap := flag.Int("queuecap", 0, "wait queue bound across classes (0 = 2x workers, -1 = no queue)")
+	deadline := flag.Float64("deadline", 0, "per-request deadline in ms, propagated into the engine (0 = none)")
+	admitRate := flag.Float64("admitrate", 0, "token-bucket sustained admissions per second (0 = off)")
+	admitBurst := flag.Float64("admitburst", 0, "token-bucket burst (0 = worker count)")
+	shedTarget := flag.Float64("shedtarget", 0, "adaptive shedder p99 latency SLO in ms (0 = off)")
+	shedWindow := flag.Int("shedwindow", 0, "completions per shed control period (0 = 200)")
+	seed := flag.Int64("seed", 1, "build + admission seed")
+	hosts := flag.Int("hosts", 80, "hosts in the synthetic web")
+	partitions := flag.Int("partitions", 4, "query processors")
+	workers := flag.Int("workers", 0, "engine scatter-gather fan-out (0 = GOMAXPROCS); distinct from -c, the front-end pool")
+	cacheCap := flag.Int("cachecap", 0, "broker result-cache capacity in entries (0 = off)")
+	flag.Parse()
+
+	qproc.SetDefaultOptions(qproc.WithWorkers(*workers))
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Web.Seed = *seed
+	cfg.Web.Hosts = *hosts
+	cfg.Partitions = *partitions
+	cfg.Workers = *workers
+	cfg.Cache = core.CacheConfig{Capacity: *cacheCap}
+
+	fmt.Printf("dwrserve: building engine (%d hosts, %d partitions)...\n", *hosts, *partitions)
+	eng, err := core.Build(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dwrserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dwrserve: %d documents indexed across %d partitions\n",
+		len(eng.Docs), eng.Query.K())
+
+	f := server.NewFrontend(eng.Query, server.Config{
+		Workers:    *c,
+		QueueCap:   *queueCap,
+		DeadlineMs: *deadline,
+		AdmitRate:  *admitRate,
+		AdmitBurst: *admitBurst,
+		Shed:       server.ShedConfig{TargetP99Ms: *shedTarget, Window: *shedWindow},
+		Seed:       *seed,
+	})
+	f.Tokenize = textproc.Tokenize
+	f.Resolve = eng.URLOf
+
+	fmt.Printf("dwrserve: serving on %s (c=%d workers)\n", *addr, *c)
+	if err := http.ListenAndServe(*addr, f.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "dwrserve: %v\n", err)
+		os.Exit(1)
+	}
+}

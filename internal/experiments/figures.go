@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dwr/internal/cluster"
 	"dwr/internal/core"
@@ -201,7 +200,7 @@ func Figure6Capacity() *Result {
 	r.Tables = append(r.Tables, t)
 
 	// DES validation at the 50 ms midpoint.
-	rng := rand.New(rand.NewSource(11))
+	rng := randx.New(11)
 	es := 0.05
 	bound := queueing.CapacityBound(c, es)
 	below := queueing.Simulate(rng, c, 60000, queueing.ExpArrivals(0.8*bound), queueing.LogNormalService(es, 1))

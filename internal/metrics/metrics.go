@@ -188,6 +188,29 @@ func (h *Histogram) Bounds() []float64 {
 	return out
 }
 
+// Quantile returns the upper bound of the bucket containing the
+// q-quantile — a conservative (rounded-up) quantile estimate, the form
+// the hedging policy and the serving front-end's shedding controller
+// consume. It returns 0 when the histogram is empty and +Inf when the
+// quantile falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	need := int(math.Ceil(q * float64(h.total)))
+	if need < 1 {
+		need = 1
+	}
+	cum := 0
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if cum >= need {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
 // CumulativeBelow returns how many observations were ≤ bound, where bound
 // must be one of the configured bounds; it returns 0 for unknown bounds.
 func (h *Histogram) CumulativeBelow(bound float64) int {

@@ -1,9 +1,6 @@
 package metrics
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // FaultCounters tallies fault-handling events on a query path: what the
 // robustness policy saw and what it did about it. Engines accumulate
@@ -105,21 +102,10 @@ func (l *LatencyByPart) Hist(p int) *Histogram {
 // the quantile falls in the overflow bucket.
 func (l *LatencyByPart) Quantile(p int, q float64) float64 {
 	h := l.Hist(p)
-	if h == nil || h.Total() == 0 {
+	if h == nil {
 		return 0
 	}
-	need := int(math.Ceil(q * float64(h.Total())))
-	if need < 1 {
-		need = 1
-	}
-	cum := 0
-	for i, b := range l.bounds {
-		cum += h.Count(i)
-		if cum >= need {
-			return b
-		}
-	}
-	return math.Inf(1)
+	return h.Quantile(q)
 }
 
 // Totals returns the per-partition observation counts.

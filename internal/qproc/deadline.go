@@ -1,0 +1,74 @@
+package qproc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlineExceeded is returned (via QueryResult.Err) when a query
+// carried an explicit latency budget (DocQueryOptions.DeadlineMs or
+// QueryTopKWithin) and the engine could not deliver the answer inside
+// it. The caller — typically a serving front-end that promised its user
+// a response time — gets no results and a latency capped at the budget:
+// that is when it would have stopped waiting. Inspect with errors.Is.
+var ErrDeadlineExceeded = errors.New("qproc: query deadline exceeded")
+
+// DeadlineQuerier is the optional engine capability a serving front-end
+// uses to propagate its per-request latency budget into the engine:
+// like QueryTopK, but the evaluation is abandoned once deadlineMs of
+// virtual time is spent (deadlineMs <= 0 means no budget). How deep the
+// budget reaches depends on the engine: DocEngine threads it into every
+// partition call's retry/hedge loop, TermEngine cuts the pipeline short
+// at the hop that busts the budget, MultiSite checks the final answer.
+type DeadlineQuerier interface {
+	QueryTopKWithin(terms []string, k int, deadlineMs float64) QueryResult
+}
+
+// Every engine propagates deadlines, checked at compile time.
+var (
+	_ DeadlineQuerier = (*DocEngine)(nil)
+	_ DeadlineQuerier = (*TermEngine)(nil)
+	_ DeadlineQuerier = (*MultiSite)(nil)
+)
+
+// QueryTopKWithin implements DeadlineQuerier: QueryTopK with a per-call
+// latency budget threaded into each partition call's retry/hedge loop
+// (tightening any FaultPolicy.DeadlineMs) and enforced on the merged
+// answer.
+func (e *DocEngine) QueryTopKWithin(terms []string, k int, deadlineMs float64) QueryResult {
+	opt := e.topkOpts
+	opt.K = k
+	opt.DeadlineMs = deadlineMs
+	return e.Query(terms, opt)
+}
+
+// QueryTopKWithin implements DeadlineQuerier: the pipeline is abandoned
+// at the first hop that would start after the budget is spent, and the
+// remaining hops are never contacted.
+func (e *TermEngine) QueryTopKWithin(terms []string, k int, deadlineMs float64) QueryResult {
+	return e.query(terms, k, deadlineMs)
+}
+
+// QueryTopKWithin implements DeadlineQuerier. Site selection happens
+// before the budget is known to be busted, so the check is on the final
+// routed answer: an over-budget reply is dropped, not delivered late.
+// Like QueryTopK it is meant for a single driving goroutine.
+func (m *MultiSite) QueryTopKWithin(terms []string, k int, deadlineMs float64) QueryResult {
+	r := m.Submit(terms, NormalizeQueryKey(terms), m.HomeRegion, m.Now, k)
+	qr := r.QueryResult
+	enforceDeadline(&qr, deadlineMs)
+	return qr
+}
+
+// enforceDeadline converts an answer that arrived after its budget into
+// a deadline failure: no results, latency capped at the budget (the
+// moment the caller stopped waiting).
+func enforceDeadline(qr *QueryResult, deadlineMs float64) {
+	if deadlineMs <= 0 || qr.LatencyMs <= deadlineMs || qr.Err != nil {
+		return
+	}
+	qr.Err = fmt.Errorf("answer needed %.2f ms of a %.2f ms budget: %w",
+		qr.LatencyMs, deadlineMs, ErrDeadlineExceeded)
+	qr.Results = nil
+	qr.LatencyMs = deadlineMs
+}

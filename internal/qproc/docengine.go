@@ -231,6 +231,13 @@ type DocQueryOptions struct {
 	Selector    selection.Selector // nil = contact every partition
 	SelectN     int                // partitions to contact when Selector is set
 	Conjunctive bool
+	// DeadlineMs, when > 0, is the query's latency budget: it tightens
+	// the fault policy's per-call deadline on every partition call, and
+	// an answer that would still arrive later than the budget is dropped
+	// (Err = ErrDeadlineExceeded) rather than delivered late. It does
+	// not change which results a within-budget answer contains, so it is
+	// deliberately not part of the result-cache key.
+	DeadlineMs float64
 }
 
 // partEval is one partition's contribution, produced by a worker and
@@ -253,7 +260,9 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 			// A hit answers at the broker: same ranked results, no
 			// fan-out, so the work counters are genuinely zero and the
 			// latency is one local lookup.
-			return QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+			qr := QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+			enforceDeadline(&qr, opt.DeadlineMs)
+			return qr
 		}
 	}
 	var qr QueryResult
@@ -370,7 +379,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 			// engine tick. A clean call costs exactly lanMs+service, so
 			// with zero faults injected this path is byte-identical to
 			// the plain one below.
-			cr := e.rb.call(tick, p, e.lanMs, service)
+			cr := e.rb.call(tick, p, e.lanMs, service, opt.DeadlineMs)
 			qr.Retries += cr.retries
 			qr.Hedges += cr.hedges
 			if cr.latencyMs > slowest {
@@ -408,6 +417,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 			qr.Degraded = true
 		}
 	}
+	enforceDeadline(&qr, opt.DeadlineMs)
 	if e.rcache != nil && !qr.Degraded && qr.Err == nil {
 		// Degraded answers are partial; caching them would keep serving
 		// the partial ranking after the servers recover.

@@ -170,8 +170,15 @@ type callResult struct {
 // how many attempts, hedges, and milliseconds it took to get that
 // answer back — or that it never came. Pure given the engine tick and
 // the injector seed, so results are identical at any worker count.
-func (rb *robustness) call(tick int64, part int, lanMs, serviceMs float64) callResult {
+//
+// deadlineMs, when > 0, is a per-call budget from the query's own
+// deadline (DocQueryOptions.DeadlineMs / QueryTopKWithin); it tightens
+// the policy's DeadlineMs but never loosens it.
+func (rb *robustness) call(tick int64, part int, lanMs, serviceMs, deadlineMs float64) callResult {
 	p := rb.policy
+	if deadlineMs > 0 && (p.DeadlineMs <= 0 || deadlineMs < p.DeadlineMs) {
+		p.DeadlineMs = deadlineMs
+	}
 	order := rb.sel.Order(part, rb.orderBuf)
 	rb.orderBuf = order
 

@@ -1,0 +1,154 @@
+package qproc
+
+import (
+	"fmt"
+	"testing"
+
+	"dwr/internal/index"
+)
+
+// These tests pin the deprecation contract: every deprecated setter shim
+// (package-level construction defaults and post-construction engine
+// setters) configures an engine identically to the functional option
+// that replaced it — same answers byte-for-byte, same cache accounting —
+// so call sites can migrate in either direction without a behavior diff.
+
+// resetAmbientDefaults restores the package-level construction state the
+// shims mutate; tests in this package otherwise share it.
+func resetAmbientDefaults(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		SetDefaultWorkers(0)
+		SetDefaultResultCache(nil)
+		SetDefaultPostingsCacheBytes(0)
+		SetDefaultOptions()
+	})
+}
+
+// engineFingerprint replays queries twice (cold then warm, so cache
+// replacement and TTL behavior is exercised) and folds in the cache
+// counters.
+func engineFingerprint(e Engine, queries [][]string) string {
+	fp1, _ := replay(e, queries)
+	fp2, _ := replay(e, queries)
+	st := e.Stats()
+	return fp1 + fp2 + fmt.Sprintf("rc=%+v pl=%+v", st.ResultCache, st.Postings)
+}
+
+func TestShimParityDefaultWorkers(t *testing.T) {
+	resetAmbientDefaults(t)
+	docs := corpus(31, 300, 200)
+	queries := zipfQueries(32, 80, 200)
+
+	for _, n := range []int{1, 3, 8} {
+		opt := buildDocEngine(t, docs, 4, WithWorkers(n))
+		want := engineFingerprint(opt, queries)
+
+		SetDefaultWorkers(n)
+		shim := buildDocEngine(t, docs, 4)
+		SetDefaultWorkers(0)
+		if got := engineFingerprint(shim, queries); got != want {
+			t.Fatalf("SetDefaultWorkers(%d) diverged from WithWorkers(%d)", n, n)
+		}
+	}
+}
+
+func TestShimParityDefaultResultCache(t *testing.T) {
+	resetAmbientDefaults(t)
+	docs := corpus(33, 300, 200)
+	queries := zipfQueries(34, 150, 200)
+	cfg := ResultCacheConfig{Capacity: 64, Shards: 2, TTLQueries: 100}
+
+	opt := buildDocEngine(t, docs, 4, WithResultCache(cfg))
+	want := engineFingerprint(opt, queries)
+
+	SetDefaultResultCache(&cfg)
+	shim := buildDocEngine(t, docs, 4)
+	SetDefaultResultCache(nil)
+	if got := engineFingerprint(shim, queries); got != want {
+		t.Fatal("SetDefaultResultCache diverged from WithResultCache")
+	}
+
+	// The per-call option overrides the ambient shim default.
+	SetDefaultResultCache(&ResultCacheConfig{Capacity: 1})
+	overridden := buildDocEngine(t, docs, 4, WithResultCache(cfg))
+	SetDefaultResultCache(nil)
+	if got := engineFingerprint(overridden, queries); got != want {
+		t.Fatal("per-call WithResultCache did not override the ambient default")
+	}
+}
+
+func TestShimParityDefaultPostingsCache(t *testing.T) {
+	resetAmbientDefaults(t)
+	docs := corpus(35, 300, 200)
+	queries := zipfQueries(36, 120, 200)
+	const bytes = 64 << 10
+
+	opt := buildDocEngine(t, docs, 4, WithPostingsCache(bytes))
+	want := engineFingerprint(opt, queries)
+
+	SetDefaultPostingsCacheBytes(bytes)
+	shim := buildDocEngine(t, docs, 4)
+	SetDefaultPostingsCacheBytes(0)
+	if got := engineFingerprint(shim, queries); got != want {
+		t.Fatal("SetDefaultPostingsCacheBytes diverged from WithPostingsCache")
+	}
+
+	// The cached engine answers byte-identically to an uncached one
+	// (only FromCache accounting may differ — compare rankings).
+	plain := buildDocEngine(t, docs, 4)
+	for _, q := range queries {
+		a := plain.QueryTopK(q, 10)
+		b := opt.QueryTopK(q, 10)
+		sameRanking(t, a.Results, b.Results, fmt.Sprintf("postings-cached %v", q))
+	}
+}
+
+func TestShimParityPostConstructionSetters(t *testing.T) {
+	resetAmbientDefaults(t)
+	docs := corpus(37, 300, 200)
+	queries := zipfQueries(38, 150, 200)
+	cfg := ResultCacheConfig{Capacity: 64, Shards: 2}
+	const plBytes = 32 << 10
+
+	for _, workers := range []int{1, 4} {
+		opt := buildDocEngine(t, docs, 4,
+			WithWorkers(workers), WithResultCache(cfg), WithPostingsCache(plBytes))
+		want := engineFingerprint(opt, queries)
+
+		shim := buildDocEngine(t, docs, 4)
+		shim.SetWorkers(workers)
+		shim.SetResultCache(NewResultCache(cfg))
+		shim.SetPostingsCache(plBytes)
+		if got := engineFingerprint(shim, queries); got != want {
+			t.Fatalf("post-construction setters diverged from options at workers=%d", workers)
+		}
+	}
+}
+
+func TestShimParityTermEngineSetters(t *testing.T) {
+	resetAmbientDefaults(t)
+	docs := corpus(39, 300, 200)
+	queries := zipfQueries(40, 120, 200)
+	central := centralIndex(docs)
+	tp := binPack4(central)
+	cfg := ResultCacheConfig{Capacity: 64, Shards: 2}
+
+	opt, err := NewTermEngine(index.DefaultOptions(), docs, tp,
+		WithWorkers(3), WithResultCache(cfg), WithPostingsCache(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engineFingerprint(opt, queries)
+
+	shim, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim.SetWorkers(3)
+	shim.SetResultCache(NewResultCache(cfg))
+	shim.SetPostingsCache(32 << 10)
+	if got := engineFingerprint(shim, queries); got != want {
+		t.Fatal("TermEngine setters diverged from functional options")
+	}
+}

@@ -187,6 +187,14 @@ type hopEval struct {
 
 // Query evaluates terms through the pipeline and returns the top-k.
 func (e *TermEngine) Query(terms []string, k int) QueryResult {
+	return e.query(terms, k, 0)
+}
+
+// query is Query with an optional latency budget (deadlineMs > 0): the
+// pipeline is cut short at the first hop that would start after the
+// budget is spent, and the answer is a deadline failure rather than a
+// late delivery.
+func (e *TermEngine) query(terms []string, k int, deadlineMs float64) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
@@ -194,7 +202,9 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	if e.rcache != nil {
 		ckey = TermCacheKey(terms, k)
 		if hit, ok := e.rcache.Get(ckey); ok {
-			return QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+			qr := QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+			enforceDeadline(&qr, deadlineMs)
+			return qr
 		}
 	}
 	var qr QueryResult
@@ -254,11 +264,22 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 	acc := make(map[int]float64)
 	latency := 0.0
 	lost := 0
+	timedOut := false
 	e.mu.Lock()
 	e.queries++
 	tick := int64(e.queries)
 	for i, s := range route {
 		h := &hops[i]
+		if deadlineMs > 0 && latency >= deadlineMs {
+			// Budget spent before this hop could start: the pipeline is
+			// abandoned and the remaining servers are never contacted
+			// (their scatter work above is wasted, as it would be on a
+			// real cluster that cancels in-flight fragments late).
+			timedOut = true
+			qr.ServersContacted = i
+			qr.Rounds = i
+			break
+		}
 		if e.rb != nil {
 			// The hop's service cost depends on the accumulator size the
 			// server would forward, so compute it prospectively (without
@@ -272,7 +293,11 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 				}
 			}
 			service := e.cost.ServiceMs(h.postings) + e.cost.AccumulatorMs(len(acc))
-			cr := e.rb.call(tick, s, e.lanMs, service)
+			remaining := 0.0
+			if deadlineMs > 0 {
+				remaining = deadlineMs - latency
+			}
+			cr := e.rb.call(tick, s, e.lanMs, service, remaining)
 			qr.Retries += cr.retries
 			qr.Hedges += cr.hedges
 			latency += cr.latencyMs
@@ -328,6 +353,12 @@ func (e *TermEngine) Query(terms []string, k int) QueryResult {
 			qr.Degraded = true
 		}
 	}
+	if timedOut && qr.Err == nil {
+		qr.Err = fmt.Errorf("pipeline abandoned mid-route: %w", ErrDeadlineExceeded)
+		qr.Results = nil
+		qr.LatencyMs = deadlineMs
+	}
+	enforceDeadline(&qr, deadlineMs)
 	if e.rcache != nil && !qr.Degraded && qr.Err == nil {
 		e.rcache.Put(ckey, qr)
 	}

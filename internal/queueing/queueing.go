@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"dwr/internal/metrics"
+	"dwr/internal/randx"
 )
 
 // CapacityBound returns the maximum arrival rate (requests per second) a
@@ -149,15 +150,17 @@ func (h *serverHeap) Pop() interface{} {
 }
 
 // ExpArrivals returns an exponential inter-arrival generator for rate
-// lambda (per second).
+// lambda (per second). Draws go through internal/randx so every
+// simulator input comes from the same seeded-sampler family the rest of
+// the system uses.
 func ExpArrivals(lambda float64) func(*rand.Rand) float64 {
-	return func(rng *rand.Rand) float64 { return rng.ExpFloat64() / lambda }
+	return func(rng *rand.Rand) float64 { return randx.Exp(rng, 1/lambda) }
 }
 
 // ExpService returns an exponential service-time generator with the
 // given mean (seconds).
 func ExpService(mean float64) func(*rand.Rand) float64 {
-	return func(rng *rand.Rand) float64 { return rng.ExpFloat64() * mean }
+	return func(rng *rand.Rand) float64 { return randx.Exp(rng, mean) }
 }
 
 // LogNormalService returns a log-normal service generator with the given
@@ -168,6 +171,6 @@ func LogNormalService(mean, cs2 float64) func(*rand.Rand) float64 {
 	mu := math.Log(mean) - sigma2/2
 	sigma := math.Sqrt(sigma2)
 	return func(rng *rand.Rand) float64 {
-		return math.Exp(rng.NormFloat64()*sigma + mu)
+		return randx.LogNormal(rng, mu, sigma)
 	}
 }

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+
+	"dwr/internal/metrics"
+	"dwr/internal/qproc"
+	"dwr/internal/randx"
+)
+
+// Run drives engine through the admission → queue → workers pipeline in
+// virtual time: a discrete-event loop over the source's arrivals and
+// the worker pool's completions. Every admitted request performs a real
+// engine evaluation (the answer is genuinely computed), and its service
+// time on the worker is the engine's virtual latency — so the measured
+// saturation point is the G/G/c bound of the engine's actual service
+// distribution, not of an assumed one.
+//
+// The loop is single-goroutine and all randomness is seeded
+// (Config.Seed plus whatever the source was built with), so a run is
+// exactly reproducible.
+func Run(eng qproc.Engine, cfg Config, src Source) Report {
+	cfg = cfg.withDefaults()
+	s := &simState{
+		eng:      eng,
+		cfg:      cfg,
+		src:      src,
+		bucket:   NewTokenBucket(cfg.AdmitRate, cfg.AdmitBurst),
+		shed:     NewShedder(cfg.Shed),
+		rng:      randx.New(cfg.Seed),
+		firstArr: -1,
+	}
+	if dq, ok := eng.(qproc.DeadlineQuerier); ok {
+		s.dq = dq
+	}
+	for _, a := range src.Init() {
+		s.push(event{t: a.At, kind: evArrival, a: a})
+	}
+	for len(s.events) > 0 {
+		ev := s.pop()
+		if ev.t > s.lastT {
+			s.lastT = ev.t
+		}
+		switch ev.kind {
+		case evArrival:
+			s.arrive(ev.a, ev.t)
+		case evDone:
+			s.complete(ev.job, ev.t)
+		}
+	}
+	return s.report()
+}
+
+// Event kinds, in tie-break order at equal times: completions release
+// workers before a simultaneous arrival is classified, matching a real
+// front-end where the dispatch loop runs ahead of the accept loop.
+const (
+	evDone = iota
+	evArrival
+)
+
+type event struct {
+	t    float64
+	kind int
+	seq  int64 // insertion order, the final tie-break
+	a    Arrival
+	job  *job
+}
+
+// job is one admitted request occupying a worker.
+type job struct {
+	a       Arrival
+	service float64 // seconds on the worker
+	qr      qproc.QueryResult
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+type simState struct {
+	eng qproc.Engine
+	dq  qproc.DeadlineQuerier // eng, when it accepts deadlines
+	cfg Config
+	src Source
+
+	events eventHeap
+	seq    int64
+
+	bucket *TokenBucket
+	shed   *Shedder
+	rng    *rand.Rand
+
+	queues [numClasses][]Arrival
+	qhead  [numClasses]int
+	qlen   int
+	busy   int // workers occupied
+
+	firstArr float64
+	lastT    float64
+	busySec  float64
+	started  int
+
+	rep     Report
+	latency [numClasses]metrics.Sample
+}
+
+func (s *simState) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+func (s *simState) pop() event { return heap.Pop(&s.events).(event) }
+
+// finish hands a terminal outcome back to the source, scheduling the
+// follow-up arrival a closed-loop user issues after thinking.
+func (s *simState) finish(a Arrival, at float64) {
+	next, ok := s.src.OnDone(a, at)
+	if !ok {
+		return
+	}
+	if next.At < at {
+		next.At = at
+	}
+	s.push(event{t: next.At, kind: evArrival, a: next})
+}
+
+// arrive classifies one arrival: shed, start service, or queue.
+func (s *simState) arrive(a Arrival, t float64) {
+	if s.firstArr < 0 {
+		s.firstArr = t
+	}
+	s.rep.Offered++
+	s.rep.Class[a.Req.Class].Offered++
+	switch {
+	case !s.shed.Admit(a.Req.Class, s.rng.Float64()):
+		s.rep.ShedOverload++
+		s.rep.Class[a.Req.Class].Shed++
+		s.finish(a, t)
+	case !s.bucket.Allow(t):
+		s.rep.ShedAdmission++
+		s.rep.Class[a.Req.Class].Shed++
+		s.finish(a, t)
+	case s.busy < s.cfg.Workers:
+		s.rep.Admitted++
+		s.start(a, t)
+	case s.qlen >= s.cfg.QueueCap:
+		s.rep.ShedQueueFull++
+		s.rep.Class[a.Req.Class].Shed++
+		s.finish(a, t)
+	default:
+		s.rep.Admitted++
+		s.queues[a.Req.Class] = append(s.queues[a.Req.Class], a)
+		s.qlen++
+		if s.qlen > s.rep.MaxQueueLen {
+			s.rep.MaxQueueLen = s.qlen
+		}
+	}
+}
+
+// start runs the engine evaluation and occupies a worker for its
+// virtual duration, propagating the request's remaining deadline budget
+// into the engine when it accepts one.
+func (s *simState) start(a Arrival, t float64) {
+	k := a.Req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	var qr qproc.QueryResult
+	remaining := 0.0
+	if s.cfg.DeadlineMs > 0 {
+		remaining = s.cfg.DeadlineMs - (t-a.At)*1000
+	}
+	if remaining > 0 && s.dq != nil {
+		qr = s.dq.QueryTopKWithin(a.Req.Terms, k, remaining)
+	} else {
+		qr = s.eng.QueryTopK(a.Req.Terms, k)
+	}
+	j := &job{a: a, service: qr.LatencyMs / 1000, qr: qr}
+	s.busy++
+	s.started++
+	s.busySec += j.service
+	s.push(event{t: t + j.service, kind: evDone, job: j})
+}
+
+// complete releases the worker, accounts the outcome, and dispatches
+// queued work.
+func (s *simState) complete(j *job, t float64) {
+	s.busy--
+	latMs := (t - j.a.At) * 1000
+	s.shed.Observe(latMs)
+	switch {
+	case j.qr.Err == nil:
+		s.rep.Served++
+		s.rep.Class[j.a.Req.Class].Served++
+		if j.qr.Degraded {
+			s.rep.Degraded++
+		}
+		s.latency[j.a.Req.Class].Add(latMs)
+	case errors.Is(j.qr.Err, qproc.ErrDeadlineExceeded):
+		s.rep.EngineDeadline++
+		s.rep.Class[j.a.Req.Class].Shed++
+	default:
+		s.rep.EngineFailed++
+		s.rep.Class[j.a.Req.Class].Shed++
+	}
+	s.finish(j.a, t)
+	s.dispatch(t)
+}
+
+// dispatch starts queued requests on free workers, interactive first,
+// evicting entries whose deadline already passed while they waited.
+func (s *simState) dispatch(t float64) {
+	for s.busy < s.cfg.Workers && s.qlen > 0 {
+		var a Arrival
+		found := false
+		for c := 0; c < int(numClasses); c++ {
+			if s.qhead[c] < len(s.queues[c]) {
+				a = s.queues[c][s.qhead[c]]
+				s.queues[c][s.qhead[c]] = Arrival{} // release for GC
+				s.qhead[c]++
+				if s.qhead[c] == len(s.queues[c]) {
+					s.queues[c] = s.queues[c][:0]
+					s.qhead[c] = 0
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		s.qlen--
+		if s.cfg.DeadlineMs > 0 && (t-a.At)*1000 >= s.cfg.DeadlineMs {
+			s.rep.EvictedDeadline++
+			s.rep.Class[a.Req.Class].Shed++
+			s.finish(a, t)
+			continue
+		}
+		s.start(a, t)
+	}
+}
+
+func (s *simState) report() Report {
+	r := s.rep
+	r.Workers = s.cfg.Workers
+	r.FinalShedLevel = s.shed.Level()
+	if s.firstArr >= 0 && s.lastT > s.firstArr {
+		r.MakespanSec = s.lastT - s.firstArr
+		r.OfferedQPS = float64(r.Offered) / r.MakespanSec
+		r.GoodputQPS = float64(r.Served) / r.MakespanSec
+		r.Utilization = s.busySec / (float64(s.cfg.Workers) * r.MakespanSec)
+	}
+	if s.started > 0 {
+		r.MeanServiceMs = s.busySec * 1000 / float64(s.started)
+	}
+	for c := range r.Class {
+		cl := &r.Class[c]
+		sm := &s.latency[c]
+		if sm.N() == 0 {
+			continue
+		}
+		cl.P50Ms = sm.Quantile(0.50)
+		cl.P95Ms = sm.Quantile(0.95)
+		cl.P99Ms = sm.Quantile(0.99)
+		cl.MaxMs = sm.Max()
+		cl.MeanMs = sm.Mean()
+	}
+	return r
+}
