@@ -265,13 +265,13 @@ func benchQueries(n int) [][]string {
 	return out
 }
 
-func benchDocEngine(b *testing.B, docs []index.Doc, k int) *qproc.DocEngine {
+func benchDocEngine(b *testing.B, docs []index.Doc, k int, options ...qproc.Option) *qproc.DocEngine {
 	b.Helper()
 	ids := make([]int, len(docs))
 	for i, d := range docs {
 		ids[i] = d.Ext
 	}
-	e, err := qproc.NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, k))
+	e, err := qproc.NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, k), options...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -286,35 +286,32 @@ func benchDocEngine(b *testing.B, docs []index.Doc, k int) *qproc.DocEngine {
 // approaching min(8, cores) on a multi-core runner).
 func BenchmarkParallelBroker(b *testing.B) {
 	docs := benchCorpus()
-	e := benchDocEngine(b, docs, 8)
+	serialEng := benchDocEngine(b, docs, 8, qproc.WithWorkers(1))
+	parEng := benchDocEngine(b, docs, 8, qproc.WithWorkers(0))
 	queries := benchQueries(64)
-	replay := func() {
+	replay := func(e *qproc.DocEngine) {
 		for _, q := range queries {
 			e.Query(q, qproc.DocQueryOptions{K: 10, Stats: qproc.GlobalTwoRound})
 		}
 	}
 	b.Run("serial", func(b *testing.B) {
-		e.SetWorkers(1)
 		for i := 0; i < b.N; i++ {
-			replay()
+			replay(serialEng)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
-		e.SetWorkers(0)
 		for i := 0; i < b.N; i++ {
-			replay()
+			replay(parEng)
 		}
 	})
 	b.Run("speedup", func(b *testing.B) {
 		var serial, parallel time.Duration
 		for i := 0; i < b.N; i++ {
-			e.SetWorkers(1)
 			t0 := time.Now()
-			replay()
+			replay(serialEng)
 			serial += time.Since(t0)
-			e.SetWorkers(0)
 			t0 = time.Now()
-			replay()
+			replay(parEng)
 			parallel += time.Since(t0)
 		}
 		if parallel > 0 {
@@ -328,30 +325,25 @@ func BenchmarkParallelBroker(b *testing.B) {
 func BenchmarkParallelBuild(b *testing.B) {
 	docs := benchCorpus()
 	b.Run("serial", func(b *testing.B) {
-		qproc.SetDefaultWorkers(1)
-		defer qproc.SetDefaultWorkers(0)
 		for i := 0; i < b.N; i++ {
-			benchDocEngine(b, docs, 8)
+			benchDocEngine(b, docs, 8, qproc.WithWorkers(1))
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			benchDocEngine(b, docs, 8)
+			benchDocEngine(b, docs, 8, qproc.WithWorkers(0))
 		}
 	})
 	b.Run("speedup", func(b *testing.B) {
 		var serial, parallel time.Duration
 		for i := 0; i < b.N; i++ {
-			qproc.SetDefaultWorkers(1)
 			t0 := time.Now()
-			benchDocEngine(b, docs, 8)
+			benchDocEngine(b, docs, 8, qproc.WithWorkers(1))
 			serial += time.Since(t0)
-			qproc.SetDefaultWorkers(0)
 			t0 = time.Now()
-			benchDocEngine(b, docs, 8)
+			benchDocEngine(b, docs, 8, qproc.WithWorkers(0))
 			parallel += time.Since(t0)
 		}
-		qproc.SetDefaultWorkers(0)
 		if parallel > 0 {
 			b.ReportMetric(float64(serial)/float64(parallel), "speedup")
 		}

@@ -16,10 +16,10 @@ import (
 
 // serveOptions sizes the -serve sweep.
 type serveOptions struct {
-	c     int     // front-end worker pool width (G/G/c)
-	n     int     // arrivals per rate point
-	rates string  // comma-separated multipliers of the capacity bound
-	seed  int64   // workload + admission seed
+	c     int    // front-end worker pool width (G/G/c)
+	n     int    // arrivals per rate point
+	rates string // comma-separated multipliers of the capacity bound
+	seed  int64  // workload + admission seed
 }
 
 // runServeSweep validates the paper's G/G/c capacity bound λ < c/E[S]

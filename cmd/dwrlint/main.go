@@ -1,0 +1,100 @@
+// Command dwrlint runs the repository's static-analysis suite
+// (internal/lint): four analyzers that mechanically enforce the
+// determinism, API-hygiene, and deadline-discipline invariants the
+// reproduction's experiments depend on.
+//
+// Usage:
+//
+//	go run ./cmd/dwrlint ./...                 # lint the module
+//	go run ./cmd/dwrlint -json ./...           # machine-readable findings
+//	go run ./cmd/dwrlint -fixlist ./...        # audit the exemption surface
+//	go run ./cmd/dwrlint internal/lint/testdata/simweb  # lint one directory
+//
+// Findings print as "file:line: [rule] message" and the process exits
+// nonzero if any non-exempted finding remains. -fixlist instead prints
+// every //dwrlint:allow / //dwrlint:file-allow exempted site with its
+// justification and always exits zero: it is the reviewers' one-command
+// audit of everything the suite has been told to ignore.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dwr/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fixlist := flag.Bool("fixlist", false, "print allowlisted sites with their justifications and exit 0")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dwrlint [-json] [-fixlist] [pattern ...]\n\npatterns: dir/... (recursive), dir, or file.go; default ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.LintPatterns(root, patterns, lint.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *fixlist {
+		allowed := lint.Fixlist(findings)
+		if *jsonOut {
+			emitJSON(allowed)
+			return
+		}
+		if len(allowed) == 0 {
+			fmt.Println("no allowlisted sites")
+			return
+		}
+		for _, f := range allowed {
+			fmt.Printf("%s:%d: [%s] allowed: %s\n", f.File, f.Line, f.Rule, f.Justification)
+		}
+		return
+	}
+
+	violations := lint.Violations(findings)
+	if *jsonOut {
+		emitJSON(violations)
+	} else {
+		for _, f := range violations {
+			fmt.Println(f)
+		}
+	}
+	if len(violations) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dwrlint: %d finding(s)\n", len(violations))
+		}
+		os.Exit(1)
+	}
+}
+
+// emitJSON writes findings as a JSON array (never null, so consumers
+// can index unconditionally).
+func emitJSON(fs []lint.Finding) {
+	if fs == nil {
+		fs = []lint.Finding{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwrlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,67 @@
+package dwr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dwr/internal/core"
+	"dwr/internal/metrics"
+	"dwr/internal/qproc"
+	"dwr/internal/querylog"
+)
+
+// TestEndToEndDeterminism is the regression test behind dwrlint's
+// determinism analyzer: it runs the same end-to-end scenario — corpus
+// synthesis, partitioning, index construction, a Zipf query log, and a
+// fault-injected robust query path — twice from one seed and requires
+// byte-identical per-query results plus identical fault accounting.
+// Any wall-clock or global-RNG leak into a deterministic package shows
+// up here as a diff between the two replays.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() ([]string, metrics.FaultCounters) {
+		cfg := core.DefaultConfig()
+		cfg.Web.Hosts = 40
+		base, err := core.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcfg := querylog.DefaultConfig()
+		lcfg.Seed = cfg.Seed + 5
+		lcfg.Total = 500
+		lcfg.Distinct = 120
+		lg := querylog.Generate(base.Web, lcfg)
+
+		faults := core.FaultConfig{Seed: cfg.Seed + 9, FlakyP: 0.10, SlowP: 0.20, SlowMeanMs: 15}
+		eng, err := qproc.NewDocEngine(cfg.Index, base.Docs, base.Partition,
+			qproc.WithWorkers(0),
+			qproc.WithInjector(faults.Injector()),
+			qproc.WithFaultPolicy(qproc.DefaultFaultPolicy()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		results := make([]string, len(lg.Queries))
+		for i, q := range lg.Queries {
+			results[i] = fmt.Sprintf("%+v", eng.QueryTopK(q.Terms, 10))
+		}
+		return results, eng.Stats().Faults
+	}
+
+	first, firstFaults := run()
+	second, secondFaults := run()
+
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("query %d diverged between identically seeded runs:\nfirst:  %s\nsecond: %s",
+				i, first[i], second[i])
+		}
+	}
+	if !reflect.DeepEqual(firstFaults, secondFaults) {
+		t.Fatalf("fault counters diverged between identically seeded runs:\nfirst:  %+v\nsecond: %+v",
+			firstFaults, secondFaults)
+	}
+	if firstFaults.FaultsSeen == 0 {
+		t.Fatal("fault injector never engaged; the scenario is not exercising the robust path")
+	}
+}

@@ -5,14 +5,16 @@
 //
 //  1. open loop below the G/G/c bound λ < c/E[S] — everything is
 //     served, latency sits near E[S];
+//
 //  2. open loop at 2x the bound — the token bucket and the adaptive
 //     shedder drop the excess (batch traffic first) so that admitted
 //     queries keep a bounded p99 instead of an exploding queue;
+//
 //  3. closed loop, a finite user population with think time — the
 //     population self-limits to N/(E[R]+Z), so nothing needs shedding
 //     even though the workers stay saturated.
 //
-//	go run ./examples/serving
+//     go run ./examples/serving
 package main
 
 import (

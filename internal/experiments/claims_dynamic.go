@@ -54,9 +54,9 @@ func Claim15OnlineMaintenance() *Result {
 				}
 				q := queries[i%len(queries)]
 				i++
-				t0 := time.Now()
+				t0 := time.Now() //dwrlint:allow wallclock measures real search latency under concurrent updates; ranked results stay deterministic
 				d.Search(q, 10)
-				ms := float64(time.Since(t0).Microseconds()) / 1000
+				ms := float64(time.Since(t0).Microseconds()) / 1000 //dwrlint:allow wallclock measures real search latency under concurrent updates; ranked results stay deterministic
 				latMu.Lock()
 				lat.Add(ms)
 				latMu.Unlock()

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// The deprecated-api analyzer ([deprecated]) stops the deprecated qproc
+// setter shims from re-spreading. Engines are configured with
+// functional options at construction (WithWorkers, WithResultCache,
+// WithPostingsCache, WithFaultPolicy, WithInjector; ambient defaults
+// via SetDefaultOptions); the setters survive only so old call sites
+// keep compiling. Matching is by method/function name, which is exact
+// for this module: no other package declares these names.
+//
+// qproc/shim_parity_test.go — the test that pins shim behavior to the
+// options it delegates to — is exempt wholesale; other intentional shim
+// exercises (e.g. a regression test for the shim itself) carry
+// //dwrlint:allow deprecated annotations.
+
+// deprecatedSetters maps each shim to the option surface that replaces
+// it. SetDown is excluded: it is deprecated for fault injection but
+// explicitly retained for static-topology experiments.
+var deprecatedSetters = map[string]string{
+	"SetWorkers":                   "WithWorkers(n) at construction",
+	"SetResultCache":               "WithResultCache / WithResultCacheInstance at construction",
+	"SetPostingsCache":             "WithPostingsCache(n) at construction",
+	"SetDefaultWorkers":            "SetDefaultOptions(WithWorkers(n))",
+	"SetDefaultResultCache":        "SetDefaultOptions(WithResultCache(cfg))",
+	"SetDefaultPostingsCacheBytes": "SetDefaultOptions(WithPostingsCache(n))",
+}
+
+func analyzeDeprecatedAPI(fc *fileCtx, cfg Config, report func(pos token.Pos, rule, msg string)) {
+	if fileBase(fc.path) == "shim_parity_test.go" {
+		return
+	}
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			// Same-package call (only resolvable for names declared in
+			// another file, where the parser leaves Obj nil).
+			if fun.Obj == nil {
+				name = fun.Name
+			}
+		}
+		if repl, ok := deprecatedSetters[name]; ok {
+			report(call.Pos(), "deprecated", fmt.Sprintf(
+				"deprecated qproc setter shim %s: use %s", name, repl))
+		}
+		return true
+	})
+}
+
+// fileBase returns the last path element of a slash path.
+func fileBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,404 @@
+// Package lint is the dwrlint static-analysis suite: a stdlib-only
+// (go/parser, go/ast, go/token) pass over the module that mechanically
+// enforces the repository's determinism, API-hygiene, and
+// deadline-discipline invariants.
+//
+// The headline guarantees of this reproduction — byte-identical query
+// results at any worker count, replayable fault scenarios, seeded load
+// generation — rest on conventions: all randomness flows through
+// internal/randx, deterministic packages never read the wall clock, new
+// code configures engines with functional options rather than the
+// deprecated setter shims, and serving paths propagate deadlines. One
+// stray time.Now() or global math/rand call silently breaks the
+// paper-shape experiments, so the conventions are machine-checked here
+// rather than reviewed-for.
+//
+// Four analyzers emit findings under five rule ids:
+//
+//   - determinism: [wallclock] time.Now/Since/Sleep/... and
+//     [globalrand] top-level math/rand calls in deterministic packages
+//   - deprecated-api: [deprecated] calls to the qproc setter shims
+//   - deadline-discipline: [deadline] QueryTopK where QueryTopKWithin
+//     must be used so deadlines propagate
+//   - seed-plumbing: [seed] *rand.Rand values not derived from
+//     internal/randx (or an explicit seed in tests)
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//dwrlint:allow <rule> <justification>       (this line or the next)
+//	//dwrlint:file-allow <rule> <justification>  (whole file)
+//
+// Allowed sites are suppressed from normal output but remain auditable:
+// the Fixlist (cmd/dwrlint -fixlist) prints every suppressed finding
+// with its justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation (or, when Allowed, one audited
+// exemption) at a source position.
+type Finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+
+	// Allowed marks a finding suppressed by a //dwrlint:allow or
+	// //dwrlint:file-allow directive; Justification is the directive's
+	// trailing free text.
+	Allowed       bool   `json:"allowed,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Config selects which packages each analyzer applies to.
+type Config struct {
+	// Deterministic is the set of package units (directory base names)
+	// whose results must be a pure function of their seeds. The
+	// determinism and seed-plumbing analyzers only fire inside these.
+	Deterministic map[string]bool
+
+	// DeadlineUnits is the set of units whose query call sites must
+	// propagate deadlines (the serving paths).
+	DeadlineUnits map[string]bool
+}
+
+// DefaultConfig returns the repository's invariant configuration.
+func DefaultConfig() Config {
+	det := map[string]bool{}
+	for _, p := range []string{
+		"simweb", "faultsim", "index", "qproc", "rank", "crawler",
+		"queueing", "loadgen", "cache", "chash", "partition",
+		"selection", "replication", "experiments",
+	} {
+		det[p] = true
+	}
+	return Config{
+		Deterministic: det,
+		DeadlineUnits: map[string]bool{"server": true, "dwrserve": true},
+	}
+}
+
+// fileCtx is one parsed file plus the lookups analyzers need.
+type fileCtx struct {
+	fset   *token.FileSet
+	file   *ast.File
+	path   string // as reported in findings
+	unit   string // directory base name, e.g. "qproc"
+	isTest bool
+}
+
+// importName returns the local identifier under which the file imports
+// importPath ("" if not imported, or imported as _ or .).
+func (fc *fileCtx) importName(importPath string) string {
+	for _, imp := range fc.file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		base := p
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			base = p[i+1:]
+		}
+		return base
+	}
+	return ""
+}
+
+// isPkgSel reports whether expr is a selector pkg.name where pkg is the
+// file's local name for an imported package (not a shadowing variable).
+func isPkgSel(expr ast.Expr, pkgName, name string) bool {
+	if pkgName == "" {
+		return false
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkgName && id.Obj == nil
+}
+
+// directives holds a file's dwrlint allow annotations.
+type directives struct {
+	fileAllow map[string]string         // rule -> justification
+	lineAllow map[int]map[string]string // line -> rule -> justification
+}
+
+const (
+	allowPrefix     = "//dwrlint:allow"
+	fileAllowPrefix = "//dwrlint:file-allow"
+)
+
+// parseDirectives scans every comment in the file. A line directive
+// covers its own source line and the line immediately below it, so both
+// trailing comments and a directive line above the flagged statement
+// work.
+func parseDirectives(fset *token.FileSet, f *ast.File) directives {
+	d := directives{
+		fileAllow: map[string]string{},
+		lineAllow: map[int]map[string]string{},
+	}
+	record := func(line int, rule, why string) {
+		if d.lineAllow[line] == nil {
+			d.lineAllow[line] = map[string]string{}
+		}
+		d.lineAllow[line][rule] = why
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			switch {
+			case strings.HasPrefix(text, fileAllowPrefix):
+				rule, why := splitDirective(text[len(fileAllowPrefix):])
+				if rule != "" {
+					d.fileAllow[rule] = why
+				}
+			case strings.HasPrefix(text, allowPrefix):
+				rule, why := splitDirective(text[len(allowPrefix):])
+				if rule != "" {
+					record(fset.Position(c.Pos()).Line, rule, why)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// splitDirective parses " <rule> <justification...>".
+func splitDirective(rest string) (rule, why string) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", ""
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i:])
+	}
+	return rest, ""
+}
+
+// allowed reports whether a finding for rule at line is exempted, and
+// with what justification.
+func (d directives) allowed(rule string, line int) (string, bool) {
+	if why, ok := d.fileAllow[rule]; ok {
+		if why == "" {
+			why = "(file-allow, no justification)"
+		}
+		return why, true
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if m, ok := d.lineAllow[l]; ok {
+			if why, ok := m[rule]; ok {
+				if why == "" {
+					why = "(no justification)"
+				}
+				return why, true
+			}
+		}
+	}
+	return "", false
+}
+
+// analyzer inspects one file and reports findings.
+type analyzer func(fc *fileCtx, cfg Config, report func(pos token.Pos, rule, msg string))
+
+// analyzers is the suite, in reporting order.
+var analyzers = []analyzer{
+	analyzeDeterminism,
+	analyzeDeprecatedAPI,
+	analyzeDeadline,
+	analyzeSeedPlumbing,
+}
+
+// LintFile runs every analyzer over one parsed file and returns all
+// findings, with directive-exempted ones marked Allowed.
+func lintFile(fc *fileCtx, cfg Config) []Finding {
+	dirs := parseDirectives(fc.fset, fc.file)
+	seen := map[string]bool{}
+	var out []Finding
+	for _, an := range analyzers {
+		an(fc, cfg, func(pos token.Pos, rule, msg string) {
+			p := fc.fset.Position(pos)
+			key := fmt.Sprintf("%d:%d:%s", p.Line, p.Column, rule)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			f := Finding{File: fc.path, Line: p.Line, Col: p.Column, Rule: rule, Msg: msg}
+			if why, ok := dirs.allowed(rule, p.Line); ok {
+				f.Allowed = true
+				f.Justification = why
+			}
+			out = append(out, f)
+		})
+	}
+	return out
+}
+
+// LintPatterns lints the files selected by patterns, resolved relative
+// to root. Three pattern forms are supported, mirroring the go tool:
+//
+//	dir/...   every package directory under dir (testdata, vendor, and
+//	          dot-directories are skipped, as the go tool does)
+//	dir       the .go files directly in dir (testdata dirs may be
+//	          named explicitly this way)
+//	file.go   a single file
+//
+// File paths in findings are reported relative to root where possible.
+func LintPatterns(root string, patterns []string, cfg Config) ([]Finding, error) {
+	var files []string
+	for _, pat := range patterns {
+		fs, err := expandPattern(root, pat)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, fs...)
+	}
+	sort.Strings(files)
+	var out []Finding
+	fset := token.NewFileSet()
+	for i, path := range files {
+		if i > 0 && files[i-1] == path {
+			continue // pattern overlap
+		}
+		src, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rel := path
+		if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fc := &fileCtx{
+			fset:   fset,
+			file:   src,
+			path:   filepath.ToSlash(rel),
+			unit:   filepath.Base(filepath.Dir(path)),
+			isTest: strings.HasSuffix(path, "_test.go"),
+		}
+		out = append(out, lintFile(fc, cfg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out, nil
+}
+
+// expandPattern resolves one CLI pattern to .go file paths.
+func expandPattern(root, pat string) ([]string, error) {
+	pat = filepath.FromSlash(pat)
+	join := func(p string) string {
+		if filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(root, p)
+	}
+	if strings.HasSuffix(pat, "...") {
+		base := join(strings.TrimSuffix(strings.TrimSuffix(pat, "..."), string(filepath.Separator)))
+		if base == "" {
+			base = root
+		}
+		return walkGoFiles(base)
+	}
+	full := join(pat)
+	info, err := os.Stat(full)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{full}, nil
+	}
+	return dirGoFiles(full)
+}
+
+// walkGoFiles collects .go files under base, skipping the directories
+// the go tool skips (testdata, vendor, dot- and underscore-prefixed).
+func walkGoFiles(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// dirGoFiles lists the .go files directly inside dir.
+func dirGoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out, nil
+}
+
+// Violations filters findings to the ones not exempted by a directive.
+func Violations(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Allowed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Fixlist filters findings to the directive-exempted sites, the
+// auditable exemption surface.
+func Fixlist(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Allowed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

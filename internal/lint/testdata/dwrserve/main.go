@@ -1,0 +1,11 @@
+// Fixture: the deadline rule also covers cmd/dwrserve (unit
+// "dwrserve").
+package main
+
+type engine interface {
+	QueryTopK(terms []string, k int) int
+}
+
+func serve(e engine, terms []string) int {
+	return e.QueryTopK(terms, 10) // want deadline
+}

@@ -1,0 +1,10 @@
+// Fixture: a file-level allow covers every wallclock site in the file.
+//
+//dwrlint:file-allow wallclock whole file reports build timings, which are measurement, not behavior
+package experiments
+
+import "time"
+
+func timedA() time.Time { return time.Now() }
+
+func timedB() float64 { return time.Since(time.Now()).Seconds() }

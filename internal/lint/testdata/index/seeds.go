@@ -1,0 +1,19 @@
+// Fixture: seed-plumbing violations in a deterministic package, in a
+// non-test file (where even an explicitly seeded rand.New must go
+// through randx.New). The wall-clock-seeded line trips three rules at
+// once: wallclock (time.Now), seed on the NewSource (clock-derived
+// seed), and seed on the rand.New (non-test construction).
+package index
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badSeeds() int {
+	wall := rand.New(rand.NewSource(time.Now().UnixNano())) // want wallclock seed seed
+	src := rand.NewSource(7)
+	opaque := rand.New(src)                 // want seed
+	explicit := rand.New(rand.NewSource(1)) // want seed
+	return wall.Intn(2) + opaque.Intn(2) + explicit.Intn(2)
+}

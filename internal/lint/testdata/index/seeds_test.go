@@ -1,0 +1,18 @@
+// Fixture: in test files of deterministic packages an explicitly
+// seeded rand.New(rand.NewSource(const)) is fine, but opaque and
+// clock-derived sources are still flagged.
+package index
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testSeeds() int {
+	ok := rand.New(rand.NewSource(1))
+	var src rand.Source
+	opaque := rand.New(src)                             // want seed
+	wall := rand.NewSource(time.Now().UnixNano() + 100) // want wallclock seed
+	_ = wall
+	return ok.Intn(2) + opaque.Intn(2)
+}

@@ -1,0 +1,19 @@
+// Fixture: deadline discipline on a serving path (unit "server").
+package server
+
+type querier interface {
+	QueryTopK(terms []string, k int) int
+	QueryTopKWithin(terms []string, k int, deadlineMs float64) int
+}
+
+func handle(q querier, terms []string, remainingMs float64) int {
+	if remainingMs > 0 {
+		return q.QueryTopKWithin(terms, 10, remainingMs)
+	}
+	return q.QueryTopK(terms, 10) // want deadline
+}
+
+func fallback(q querier, terms []string) int {
+	//dwrlint:allow deadline engine exposes no deadline surface; nothing to propagate
+	return q.QueryTopK(terms, 10)
+}

@@ -1,0 +1,7 @@
+// Fixture: test files on serving paths are exempt from the deadline
+// rule — stub engines legitimately implement and delegate QueryTopK.
+package server
+
+func stubDrive(q querier, terms []string) int {
+	return q.QueryTopK(terms, 10)
+}

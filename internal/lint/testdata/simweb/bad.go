@@ -1,0 +1,35 @@
+// Fixture: determinism violations in a deterministic package (the
+// directory base name "simweb" is in the deterministic set). Parse-only
+// — the go tool never builds testdata.
+package simweb
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallclockSites() float64 {
+	start := time.Now()          // want wallclock
+	time.Sleep(time.Millisecond) // want wallclock
+	elapsed := time.Since(start) // want wallclock
+	_ = time.After(time.Second)  // want wallclock
+	f := time.Now                // want wallclock
+	_ = f
+	return elapsed.Seconds()
+}
+
+func globalRandSites() int {
+	rand.Seed(42)                      // want globalrand
+	v := rand.Intn(10)                 // want globalrand
+	_ = rand.Float64()                 // want globalrand
+	rand.Shuffle(3, func(int, int) {}) // want globalrand
+	return v
+}
+
+// shadowed proves identifier resolution: a local variable named time is
+// not the package.
+func shadowed() int {
+	type clock struct{ Now func() int }
+	time := clock{Now: func() int { return 7 }}
+	return time.Now()
+}

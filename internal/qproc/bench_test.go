@@ -14,14 +14,14 @@ import (
 // within noise of serial (the worker pool runs inline below 2 workers of
 // real parallelism); on a multi-core runner it approaches min(K, cores)×.
 
-func benchEngine(b *testing.B, parts int) (*DocEngine, [][]string) {
+func benchEngine(b *testing.B, parts int, options ...Option) (*DocEngine, [][]string) {
 	b.Helper()
 	docs := corpus(31, 2000, 1000)
 	ids := make([]int, len(docs))
 	for i, d := range docs {
 		ids[i] = d.Ext
 	}
-	e, err := NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, parts))
+	e, err := NewDocEngine(index.DefaultOptions(), docs, partition.RoundRobinDocs(ids, parts), options...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -29,8 +29,7 @@ func benchEngine(b *testing.B, parts int) (*DocEngine, [][]string) {
 }
 
 func benchBrokerWorkers(b *testing.B, workers int, mode StatsMode) {
-	e, queries := benchEngine(b, 8)
-	e.SetWorkers(workers)
+	e, queries := benchEngine(b, 8, WithWorkers(workers))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
@@ -51,11 +50,10 @@ func benchTermEngineWorkers(b *testing.B, workers int) {
 	tp := partition.BinPackTerms(central.Terms(), func(t string) float64 {
 		return float64(central.DF(t))
 	}, 8)
-	e, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	e, err := NewTermEngine(index.DefaultOptions(), docs, tp, WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
-	e.SetWorkers(workers)
 	queries := zipfQueries(36, 50, 600)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -75,8 +73,8 @@ func benchConstruction(b *testing.B, workers int) {
 		ids[i] = d.Ext
 	}
 	dp := partition.RoundRobinDocs(ids, 8)
-	SetDefaultWorkers(workers)
-	defer SetDefaultWorkers(0)
+	SetDefaultOptions(WithWorkers(workers))
+	defer SetDefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewDocEngine(index.DefaultOptions(), docs, dp); err != nil {
@@ -94,10 +92,13 @@ func BenchmarkEngineConstructionParallel(b *testing.B) { benchConstruction(b, 0)
 // cache — the hit path must be at least ~5× faster per stream pass.
 
 func benchResultCache(b *testing.B, cached bool) {
-	e, queries := benchEngine(b, 8)
+	var opts []Option
+	if cached {
+		opts = append(opts, WithResultCache(ResultCacheConfig{Capacity: 4096, Shards: 8, Policy: CacheLFU}))
+	}
+	e, queries := benchEngine(b, 8, opts...)
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	if cached {
-		e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 4096, Shards: 8, Policy: CacheLFU}))
 		for _, q := range queries { // warm: every distinct query cached
 			e.Query(q, opt)
 		}
@@ -142,6 +143,7 @@ func benchCachePolicy(b *testing.B, policy CachePolicy) {
 	b.ResetTimer()
 	var last CacheStats
 	for i := 0; i < b.N; i++ {
+		//dwrlint:allow deprecated the policy benchmark swaps in a fresh cache per iteration; options configure caches only at construction
 		e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 128, Shards: 8, Policy: policy, StaticKeys: static}))
 		for _, q := range stream {
 			e.Query(q, opt)
@@ -157,8 +159,7 @@ func BenchmarkResultCacheSDCHitRatio(b *testing.B) { benchCachePolicy(b, CacheSD
 // Posting-list cache: decode-vs-binary-search on the partition servers,
 // result cache off so every query pays the evaluation path.
 func benchPostingsCache(b *testing.B, bytes int64) {
-	e, queries := benchEngine(b, 8)
-	e.SetPostingsCache(bytes)
+	e, queries := benchEngine(b, 8, WithPostingsCache(bytes))
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	for _, q := range queries { // warm the decoded-postings cache
 		e.Query(q, opt)

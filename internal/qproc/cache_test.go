@@ -29,12 +29,9 @@ func TestPostingsCacheDeterminism(t *testing.T) {
 	docs := corpus(41, 400, 250)
 	queries := zipfQueries(42, 30, 250)
 	for _, parts := range []int{1, 3, 8} {
-		plain := newDocEngine(t, docs, parts)
-		plain.SetWorkers(1)
-		cached := newDocEngine(t, docs, parts)
-		cached.SetPostingsCache(1 << 20)
+		plain := newDocEngine(t, docs, parts, WithWorkers(1))
 		for _, workers := range []int{1, 8} {
-			cached.SetWorkers(workers)
+			cached := newDocEngine(t, docs, parts, WithPostingsCache(1<<20), WithWorkers(workers))
 			for _, mode := range []StatsMode{GlobalTwoRound, GlobalPrecomputed, LocalOnly} {
 				for _, conj := range []bool{false, true} {
 					opt := DocQueryOptions{K: 10, Stats: mode, Conjunctive: conj}
@@ -50,9 +47,9 @@ func TestPostingsCacheDeterminism(t *testing.T) {
 					}
 				}
 			}
-		}
-		if st := cached.PostingsCacheStats(); st.Hits == 0 || st.Misses == 0 {
-			t.Fatalf("parts=%d: posting cache never exercised both paths: %+v", parts, st)
+			if st := cached.PostingsCacheStats(); st.Hits == 0 || st.Misses == 0 {
+				t.Fatalf("parts=%d workers=%d: posting cache never exercised both paths: %+v", parts, workers, st)
+			}
 		}
 	}
 }
@@ -63,18 +60,16 @@ func TestTermEnginePostingsCacheDeterminism(t *testing.T) {
 	docs := corpus(43, 300, 200)
 	central := centralIndex(docs)
 	tp := binPack4(central)
-	plain, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+	plain, err := NewTermEngine(index.DefaultOptions(), docs, tp, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain.SetWorkers(1)
-	cached, err := NewTermEngine(index.DefaultOptions(), docs, tp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cached.SetPostingsCache(1 << 20)
 	for _, workers := range []int{1, 8} {
-		cached.SetWorkers(workers)
+		cached, err := NewTermEngine(index.DefaultOptions(), docs, tp,
+			WithPostingsCache(1<<20), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for pass := 0; pass < 2; pass++ {
 			for _, q := range zipfQueries(44, 30, 200) {
 				want := plain.Query(q, 10)
@@ -84,9 +79,9 @@ func TestTermEnginePostingsCacheDeterminism(t *testing.T) {
 				}
 			}
 		}
-	}
-	if st := cached.PostingsCacheStats(); st.Hits == 0 {
-		t.Fatal("term-server posting cache never hit")
+		if st := cached.PostingsCacheStats(); st.Hits == 0 {
+			t.Fatalf("workers=%d: term-server posting cache never hit", workers)
+		}
 	}
 }
 
@@ -95,8 +90,7 @@ func TestTermEnginePostingsCacheDeterminism(t *testing.T) {
 // latency, and zero backend work.
 func TestResultCacheHitPath(t *testing.T) {
 	docs := corpus(45, 300, 200)
-	e := newDocEngine(t, docs, 4)
-	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
+	e := newDocEngine(t, docs, 4, WithResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
 	q := []string{"w0001", "w0003"}
 	opt := DocQueryOptions{K: 10, Stats: GlobalTwoRound}
 	first := e.Query(q, opt)
@@ -134,8 +128,7 @@ func TestResultCacheHitPath(t *testing.T) {
 // enter the cache, and SetDown invalidates what is already there.
 func TestResultCacheDegradedNotCached(t *testing.T) {
 	docs := corpus(46, 300, 200)
-	e := newDocEngine(t, docs, 4)
-	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
+	e := newDocEngine(t, docs, 4, WithResultCache(ResultCacheConfig{Capacity: 64, Shards: 4}))
 	q := []string{"w0002"}
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	e.Query(q, opt) // cached, full answer
@@ -165,8 +158,7 @@ func TestResultCacheDegradedNotCached(t *testing.T) {
 // cache's virtual clock are re-evaluated.
 func TestResultCacheTTLExpiry(t *testing.T) {
 	docs := corpus(47, 200, 150)
-	e := newDocEngine(t, docs, 2)
-	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 64, Shards: 2, TTLQueries: 5}))
+	e := newDocEngine(t, docs, 2, WithResultCache(ResultCacheConfig{Capacity: 64, Shards: 2, TTLQueries: 5}))
 	q := []string{"w0001"}
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	e.Query(q, opt)
@@ -239,8 +231,7 @@ func TestResultCacheSDCBeatsLRUOnEngine(t *testing.T) {
 	}
 
 	run := func(cfg ResultCacheConfig) CacheStats {
-		e := newDocEngine(t, docs, 4)
-		e.SetResultCache(NewResultCache(cfg))
+		e := newDocEngine(t, docs, 4, WithResultCache(cfg))
 		for _, q := range queries {
 			e.Query(q, opt)
 		}
@@ -258,9 +249,9 @@ func TestResultCacheSDCBeatsLRUOnEngine(t *testing.T) {
 // interleaved invalidations.
 func TestConcurrentCachedQueries(t *testing.T) {
 	docs := corpus(50, 300, 200)
-	e := newDocEngine(t, docs, 4)
-	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 256, Shards: 8, Policy: CacheLFU}))
-	e.SetPostingsCache(1 << 18)
+	e := newDocEngine(t, docs, 4,
+		WithResultCache(ResultCacheConfig{Capacity: 256, Shards: 8, Policy: CacheLFU}),
+		WithPostingsCache(1<<18))
 	queries := zipfQueries(51, 40, 200)
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	want := make([]QueryResult, len(queries))
@@ -296,11 +287,11 @@ func TestConcurrentCachedQueries(t *testing.T) {
 func TestTermEngineResultCache(t *testing.T) {
 	docs := corpus(52, 200, 150)
 	central := centralIndex(docs)
-	e, err := NewTermEngine(index.DefaultOptions(), docs, binPack4(central))
+	e, err := NewTermEngine(index.DefaultOptions(), docs, binPack4(central),
+		WithResultCache(ResultCacheConfig{Capacity: 32, Shards: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 32, Shards: 2}))
 	q := []string{"w0002", "w0005"}
 	first := e.Query(q, 10)
 	second := e.Query(q, 10)

@@ -97,7 +97,7 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 		return nil, fmt.Errorf("qproc: document partition covers no documents")
 	}
 	e.rcache = eo.resultCache()
-	e.SetPostingsCache(eo.plBytes)
+	e.installPostingsCache(eo.plBytes)
 	e.rb = eo.robust(dp.K)
 	if eo.docDefault != nil {
 		e.topkOpts = *eo.docDefault
@@ -165,6 +165,12 @@ func (e *DocEngine) ResultCache() *ResultCache { return e.rcache }
 //
 // Deprecated: pass WithPostingsCache(n) to NewDocEngine.
 func (e *DocEngine) SetPostingsCache(bytesPerPartition int64) {
+	e.installPostingsCache(bytesPerPartition)
+}
+
+// installPostingsCache is the shared implementation behind the
+// WithPostingsCache option and the deprecated setter shim.
+func (e *DocEngine) installPostingsCache(bytesPerPartition int64) {
 	if bytesPerPartition <= 0 {
 		e.pcaches = nil
 		return

@@ -21,10 +21,8 @@ import (
 // forced serial and one with a wide worker pool.
 func enginePair(t *testing.T, docs []index.Doc, k int) (serial, par *DocEngine) {
 	t.Helper()
-	serial = newDocEngine(t, docs, k)
-	serial.SetWorkers(1)
-	par = newDocEngine(t, docs, k)
-	par.SetWorkers(8)
+	serial = newDocEngine(t, docs, k, WithWorkers(1))
+	par = newDocEngine(t, docs, k, WithWorkers(8))
 	return serial, par
 }
 
@@ -102,16 +100,14 @@ func TestParallelTermEngineMatchesSerial(t *testing.T) {
 			tp := partition.BinPackTerms(central.Terms(), func(t string) float64 {
 				return float64(central.DF(t))
 			}, k)
-			serial, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+			serial, err := NewTermEngine(index.DefaultOptions(), docs, tp, WithWorkers(1))
 			if err != nil {
 				t.Fatal(err)
 			}
-			serial.SetWorkers(1)
-			par, err := NewTermEngine(index.DefaultOptions(), docs, tp)
+			par, err := NewTermEngine(index.DefaultOptions(), docs, tp, WithWorkers(8))
 			if err != nil {
 				t.Fatal(err)
 			}
-			par.SetWorkers(8)
 			for qi, q := range zipfQueries(seed+9, 50, 200) {
 				want := serial.Query(q, 10)
 				got := par.Query(q, 10)
@@ -150,8 +146,7 @@ func TestConcurrentQueriesSafe(t *testing.T) {
 	// queries is not associative).
 	docs := corpus(77, 400, 250)
 	queries := zipfQueries(78, 80, 250)
-	e := newDocEngine(t, docs, 6)
-	e.SetWorkers(4)
+	e := newDocEngine(t, docs, 6, WithWorkers(4))
 
 	want := make([]QueryResult, len(queries))
 	for i, q := range queries {
@@ -186,30 +181,12 @@ func TestConcurrentQueriesSafe(t *testing.T) {
 	}
 }
 
-func TestSetDefaultWorkersAppliesToNewEngines(t *testing.T) {
-	defer SetDefaultWorkers(0)
-	SetDefaultWorkers(1)
-	docs := corpus(2, 100, 80)
-	e := newDocEngine(t, docs, 2)
-	if e.Workers() != 1 {
-		t.Fatalf("workers = %d, want 1", e.Workers())
-	}
-	SetDefaultWorkers(0)
-	e = newDocEngine(t, docs, 2)
-	if e.Workers() != 0 {
-		t.Fatalf("workers = %d, want 0 (GOMAXPROCS)", e.Workers())
-	}
-}
-
 // TestParallelConstructionMatchesSerial pins that concurrent partition
 // builds produce the same indexes as serial construction.
 func TestParallelConstructionMatchesSerial(t *testing.T) {
 	docs := corpus(55, 300, 150)
-	defer SetDefaultWorkers(0)
-	SetDefaultWorkers(1)
-	serial := newDocEngine(t, docs, 5)
-	SetDefaultWorkers(0)
-	par := newDocEngine(t, docs, 5)
+	serial := newDocEngine(t, docs, 5, WithWorkers(1))
+	par := newDocEngine(t, docs, 5, WithWorkers(0))
 	for p := 0; p < 5; p++ {
 		if !index.Equal(serial.PartIndex(p), par.PartIndex(p)) {
 			t.Fatalf("partition %d index diverged between serial and parallel build", p)

@@ -53,14 +53,14 @@ func centralIndex(docs []index.Doc) *index.Index {
 	return b.Build()
 }
 
-func newDocEngine(t *testing.T, docs []index.Doc, k int) *DocEngine {
+func newDocEngine(t *testing.T, docs []index.Doc, k int, options ...Option) *DocEngine {
 	t.Helper()
 	ids := make([]int, len(docs))
 	for i, d := range docs {
 		ids[i] = d.Ext
 	}
 	dp := partition.RoundRobinDocs(ids, k)
-	e, err := NewDocEngine(index.DefaultOptions(), docs, dp)
+	e, err := NewDocEngine(index.DefaultOptions(), docs, dp, options...)
 	if err != nil {
 		t.Fatal(err)
 	}

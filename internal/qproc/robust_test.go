@@ -307,9 +307,9 @@ func TestOptionsMatchSetters(t *testing.T) {
 		WithWorkers(2), WithResultCache(cfg), WithPostingsCache(1<<16))
 
 	viaSetters := buildDocEngine(t, docs, 4)
-	viaSetters.SetWorkers(2)
-	viaSetters.SetResultCache(NewResultCache(cfg))
-	viaSetters.SetPostingsCache(1 << 16)
+	viaSetters.SetWorkers(2)                       //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
+	viaSetters.SetResultCache(NewResultCache(cfg)) //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
+	viaSetters.SetPostingsCache(1 << 16)           //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
 
 	a, _ := replay(viaOpts, queries)
 	b, _ := replay(viaSetters, queries)

@@ -152,3 +152,22 @@ func TestShimParityTermEngineSetters(t *testing.T) {
 		t.Fatal("TermEngine setters diverged from functional options")
 	}
 }
+
+// TestSetDefaultWorkersAppliesToNewEngines is the regression test for
+// the package-level default shim itself: it must reach engines built
+// after the call and leave earlier engines alone. (It lives in this
+// file because driving the deprecated surface is its whole point.)
+func TestSetDefaultWorkersAppliesToNewEngines(t *testing.T) {
+	resetAmbientDefaults(t)
+	SetDefaultWorkers(1)
+	docs := corpus(2, 100, 80)
+	e := newDocEngine(t, docs, 2)
+	if e.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", e.Workers())
+	}
+	SetDefaultWorkers(0)
+	e = newDocEngine(t, docs, 2)
+	if e.Workers() != 0 {
+		t.Fatalf("workers = %d, want 0 (GOMAXPROCS)", e.Workers())
+	}
+}

@@ -92,7 +92,7 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 	merged.TotalLen = e.servers[0].TotalLen()
 	e.scorer = rank.NewScorer(rank.FromGlobal(merged))
 	e.rcache = eo.resultCache()
-	e.SetPostingsCache(eo.plBytes)
+	e.installPostingsCache(eo.plBytes)
 	e.rb = eo.robust(tp.K)
 	return e, nil
 }
@@ -125,6 +125,12 @@ func (e *TermEngine) ResultCache() *ResultCache { return e.rcache }
 //
 // Deprecated: pass WithPostingsCache(n) to NewTermEngine.
 func (e *TermEngine) SetPostingsCache(bytesPerServer int64) {
+	e.installPostingsCache(bytesPerServer)
+}
+
+// installPostingsCache is the shared implementation behind the
+// WithPostingsCache option and the deprecated setter shim.
+func (e *TermEngine) installPostingsCache(bytesPerServer int64) {
 	if bytesPerServer <= 0 {
 		e.pcaches = nil
 		return

@@ -176,6 +176,7 @@ func (f *Frontend) Serve(ctx context.Context, req Request) (qproc.QueryResult, S
 	if remaining > 0 && f.dq != nil {
 		qr = f.dq.QueryTopKWithin(req.Terms, k, remaining)
 	} else {
+		//dwrlint:allow deadline engine is not a DeadlineQuerier or no deadline is configured; there is no budget to propagate
 		qr = f.eng.QueryTopK(req.Terms, k)
 	}
 	switch {

@@ -127,8 +127,8 @@ func TestFrontendHTTP(t *testing.T) {
 		t.Fatalf("search returned %d", resp.StatusCode)
 	}
 	var sr struct {
-		Status    string `json:"status"`
-		Results   []struct {
+		Status  string `json:"status"`
+		Results []struct {
 			Doc int    `json:"doc"`
 			URL string `json:"url"`
 		} `json:"results"`

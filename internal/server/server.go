@@ -151,12 +151,12 @@ type Report struct {
 
 	Degraded int // served, but with partitions missing
 
-	MakespanSec   float64 // first arrival to last event
-	OfferedQPS    float64
-	GoodputQPS    float64 // Served / MakespanSec
-	MeanServiceMs float64 // E[S] actually measured on the worker pool
-	Utilization   float64 // busy worker-time / (Workers × makespan)
-	MaxQueueLen   int
+	MakespanSec    float64 // first arrival to last event
+	OfferedQPS     float64
+	GoodputQPS     float64 // Served / MakespanSec
+	MeanServiceMs  float64 // E[S] actually measured on the worker pool
+	Utilization    float64 // busy worker-time / (Workers × makespan)
+	MaxQueueLen    int
 	FinalShedLevel float64
 
 	Class [numClasses]ClassReport

@@ -195,6 +195,7 @@ func (s *simState) start(a Arrival, t float64) {
 	if remaining > 0 && s.dq != nil {
 		qr = s.dq.QueryTopKWithin(a.Req.Terms, k, remaining)
 	} else {
+		//dwrlint:allow deadline engine is not a DeadlineQuerier or no deadline is configured; there is no budget to propagate
 		qr = s.eng.QueryTopK(a.Req.Terms, k)
 	}
 	j := &job{a: a, service: qr.LatencyMs / 1000, qr: qr}

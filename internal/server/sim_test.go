@@ -99,7 +99,7 @@ func (e *stubEngine) QueryTopKWithin(terms []string, k int, deadlineMs float64) 
 	return qr
 }
 
-func (e *stubEngine) K() int                  { return 1 }
+func (e *stubEngine) K() int                   { return 1 }
 func (e *stubEngine) Stats() qproc.EngineStats { return qproc.EngineStats{Queries: e.queries} }
 func (e *stubEngine) Health() qproc.Health     { return qproc.Health{Units: 1} }
 
