@@ -114,17 +114,18 @@ func BenchmarkAblationCompression(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationSkipLists compares conjunctive evaluation with and
-// without skip pointers.
+// BenchmarkAblationSkipLists compares conjunctive evaluation across
+// posting-block sizes: small blocks skip tighter, large blocks decode in
+// bigger bursts.
 func BenchmarkAblationSkipLists(b *testing.B) {
 	docs := benchCorpus()
 	for _, c := range []struct {
-		name     string
-		interval int
-	}{{"skip64", 64}, {"noskip", 0}} {
+		name      string
+		blockSize int
+	}{{"block32", 32}, {"block128", 128}, {"block512", 512}} {
 		b.Run(c.name, func(b *testing.B) {
 			opts := index.DefaultOptions()
-			opts.SkipInterval = c.interval
+			opts.BlockSize = c.blockSize
 			ix := buildWith(docs, opts)
 			s := rank.NewScorer(rank.FromIndex(ix))
 			// A rare term ANDed with a frequent one: the skip-friendly case.
@@ -137,6 +138,50 @@ func BenchmarkAblationSkipLists(b *testing.B) {
 			}
 			b.ReportMetric(float64(decoded), "postings_decoded")
 		})
+	}
+}
+
+// BenchmarkAblationPruning compares the exhaustive top-k evaluator
+// against MaxScore and Block-Max pruning at k=10 and k=100: queries per
+// second, allocations, and encoded posting bytes decoded per query. The
+// rankings are identical (pinned by the Equivalence tests); only the
+// work differs.
+func BenchmarkAblationPruning(b *testing.B) {
+	docs := benchCorpus()
+	ix := buildWith(docs, index.DefaultOptions())
+	s := rank.NewScorer(rank.FromIndex(ix))
+	rng := randx.New(7)
+	z := randx.NewZipf(3000, 1.0)
+	queries := make([][]string, 64)
+	for i := range queries {
+		q := make([]string, 2+rng.Intn(3))
+		for j := range q {
+			q[j] = fmt.Sprintf("w%04d", z.Draw(rng))
+		}
+		queries[i] = q
+	}
+	for _, k := range []int{10, 100} {
+		for _, m := range []struct {
+			name string
+			mode rank.Pruning
+		}{
+			{"exhaustive", rank.PruneNone},
+			{"maxscore", rank.PruneMaxScore},
+			{"blockmax", rank.PruneBlockMax},
+		} {
+			b.Run(fmt.Sprintf("%s/k%d", m.name, k), func(b *testing.B) {
+				b.ReportAllocs()
+				var bytesDecoded, postings int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, es := rank.EvaluateTopK(ix, s, queries[i%len(queries)], k, m.mode)
+					bytesDecoded += es.BytesDecoded
+					postings += int64(es.PostingsDecoded)
+				}
+				b.ReportMetric(float64(bytesDecoded)/float64(b.N), "bytes_decoded/query")
+				b.ReportMetric(float64(postings)/float64(b.N), "postings/query")
+			})
+		}
 	}
 }
 

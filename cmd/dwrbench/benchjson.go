@@ -1,0 +1,27 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// writeBenchJSON writes one machine-readable benchmark artifact as
+// BENCH_<scenario>.json under dir and returns the path. Scenarios emit
+// these alongside their terminal reports so the perf trajectory can be
+// tracked (and diffed in CI) instead of eyeballed from captured text.
+func writeBenchJSON(dir, scenario string, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+scenario+".json")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -8,6 +8,12 @@
 //	dwrbench -exp F2    # run one experiment (T1, F1, F2, F5, F6, C1..C14)
 //	dwrbench -faults    # run the fault-injection scenario suite
 //	dwrbench -serve     # run the serving front-end capacity sweep
+//	dwrbench -pruning   # exhaustive vs MaxScore vs Block-Max top-k comparison
+//
+// The -serve and -pruning scenarios also write machine-readable
+// BENCH_<scenario>.json artifacts under -benchdir so the perf
+// trajectory is tracked across commits instead of eyeballed from
+// captured terminal output.
 package main
 
 import (
@@ -28,7 +34,7 @@ func main() {
 	cacheTTL := flag.Int("cachettl", 0, "result-cache entry TTL in queries (0 = never expires)")
 	cacheShards := flag.Int("cacheshards", 0, "result-cache lock shards (0 = 8)")
 	cachePolicy := flag.String("cachepolicy", "lru", "result-cache replacement for -cachecap: lru | lfu")
-	plCache := flag.Int64("plcache", 0, "per-server posting-list cache in bytes of decoded postings (0 = off; results are identical, only decode work changes)")
+	plCache := flag.Int64("plcache", 0, "per-server posting-list cache budget in bytes of resident encoded blocks plus block metadata (0 = off; results are identical, only decode work changes)")
 	faults := flag.Bool("faults", false, "run the fault-injection scenario suite: availability and tail latency under crash/flaky/slow/outage schedules (deterministic for a fixed -faultseed)")
 	faultSeed := flag.Int64("faultseed", 42, "fault-schedule seed for -faults")
 	serve := flag.Bool("serve", false, "run the serving front-end capacity sweep: open-loop load at multiples of the G/G/c bound c/E[S], validating saturation and graceful degradation (deterministic for a fixed -serveseed)")
@@ -36,6 +42,11 @@ func main() {
 	serveN := flag.Int("serven", 6000, "arrivals per rate point for -serve")
 	serveRates := flag.String("serverates", "0.3,0.6,0.9,1.1,1.5,2.0", "comma-separated multipliers of the capacity bound for -serve")
 	serveSeed := flag.Int64("serveseed", 42, "workload seed for -serve")
+	pruning := flag.Bool("pruning", false, "run the exhaustive-vs-pruned top-k comparison (full OR vs MaxScore vs Block-Max WAND), verifying rank-identical results while measuring QPS, latency quantiles, allocations, and decoded posting bytes")
+	pruneSeed := flag.Int64("pruneseed", 42, "corpus and query seed for -pruning")
+	pruneDocs := flag.Int("prunedocs", 8000, "corpus size in documents for -pruning")
+	pruneQueries := flag.Int("prunequeries", 400, "query count for -pruning")
+	benchDir := flag.String("benchdir", "docs", "directory for machine-readable BENCH_<scenario>.json artifacts (empty = don't write)")
 	flag.Parse()
 	var defaults []qproc.Option
 	defaults = append(defaults, qproc.WithWorkers(*workers))
@@ -66,8 +77,17 @@ func main() {
 	}
 
 	if *serve {
-		opts := serveOptions{c: *serveC, n: *serveN, rates: *serveRates, seed: *serveSeed}
+		opts := serveOptions{c: *serveC, n: *serveN, rates: *serveRates, seed: *serveSeed, dir: *benchDir}
 		if err := runServeSweep(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *pruning {
+		opts := pruningOptions{seed: *pruneSeed, docs: *pruneDocs, queries: *pruneQueries, dir: *benchDir}
+		if err := runPruningBench(os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(1)
 		}

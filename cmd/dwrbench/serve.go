@@ -20,6 +20,19 @@ type serveOptions struct {
 	n     int    // arrivals per rate point
 	rates string // comma-separated multipliers of the capacity bound
 	seed  int64  // workload + admission seed
+	dir   string // BENCH_serve.json destination ("" = don't write)
+}
+
+// serveRun is one sweep row of BENCH_serve.json.
+type serveRun struct {
+	Load       string  `json:"load"`
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	ShedPct    float64 `json:"shed_pct"`
+	UtilPct    float64 `json:"util_pct"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
 }
 
 // runServeSweep validates the paper's G/G/c capacity bound λ < c/E[S]
@@ -81,13 +94,14 @@ func runServeSweep(w io.Writer, o serveOptions) error {
 
 	fmt.Fprintf(w, "%-9s %9s %9s %7s %7s %8s %8s %8s %6s\n",
 		"load", "offered", "goodput", "shed%", "util", "p50ms", "p95ms", "p99ms", "level")
+	var rows []serveRun
 	var sat float64
 	for _, m := range mults {
 		src := loadgen.Open(lg, loadgen.OpenConfig{
 			Seed: o.seed + int64(m*1000), Rate: m * bound, N: o.n, BatchFrac: 0.2,
 		})
 		rep := server.Run(base.Query, scfg, src)
-		writeServeRow(w, fmt.Sprintf("%.2fx", m), rep)
+		rows = append(rows, writeServeRow(w, fmt.Sprintf("%.2fx", m), rep))
 		if rep.GoodputQPS > sat {
 			sat = rep.GoodputQPS
 		}
@@ -108,7 +122,7 @@ func runServeSweep(w io.Writer, o serveOptions) error {
 	})
 	rep := server.Run(base.Query, ccfg, closed)
 	fmt.Fprintf(w, "closed loop, %d users, think E[Z]=E[S], no admission limits:\n", 4*o.c)
-	writeServeRow(w, "closed", rep)
+	rows = append(rows, writeServeRow(w, "closed", rep))
 
 	// Serving under faults: same sweep point (0.9x bound) against an
 	// engine whose partitions flake and straggle, best-effort policy.
@@ -125,20 +139,45 @@ func runServeSweep(w io.Writer, o serveOptions) error {
 	fmt.Fprintf(w, "\nserving under faults (5%% flaky, 10%% straggling partition calls) at 0.90x bound:\n")
 	fmt.Fprintf(w, "(retries and hedges inflate E[S], shrinking the effective bound; the\n")
 	fmt.Fprintf(w, " front-end sheds the difference instead of letting latency run away)\n")
-	writeServeRow(w, "faulty", frep)
+	rows = append(rows, writeServeRow(w, "faulty", frep))
 	fmt.Fprintf(w, "  engine outcomes: %d degraded, %d deadline, %d failed of %d offered\n",
 		frep.Degraded, frep.EngineDeadline, frep.EngineFailed, frep.Offered)
+
+	if o.dir != "" {
+		doc := struct {
+			Scenario string     `json:"scenario"`
+			Seed     int64      `json:"seed"`
+			Workers  int        `json:"workers"`
+			BoundQPS float64    `json:"capacity_bound_qps"`
+			Runs     []serveRun `json:"runs"`
+		}{Scenario: "serve", Seed: o.seed, Workers: o.c, BoundQPS: bound, Runs: rows}
+		path, err := writeBenchJSON(o.dir, "serve", doc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
 	return nil
 }
 
-// writeServeRow prints one sweep point.
-func writeServeRow(w io.Writer, label string, r server.Report) {
+// writeServeRow prints one sweep point and returns it as a JSON row.
+func writeServeRow(w io.Writer, label string, r server.Report) serveRun {
 	shed := r.ShedOverload + r.ShedAdmission + r.ShedQueueFull + r.EvictedDeadline
 	it := r.Class[server.Interactive]
+	row := serveRun{
+		Load:       label,
+		OfferedQPS: r.OfferedQPS,
+		GoodputQPS: r.GoodputQPS,
+		ShedPct:    100 * float64(shed) / float64(r.Offered),
+		UtilPct:    100 * r.Utilization,
+		P50Ms:      it.P50Ms,
+		P95Ms:      it.P95Ms,
+		P99Ms:      it.P99Ms,
+	}
 	fmt.Fprintf(w, "%-9s %9.0f %9.0f %6.1f%% %6.1f%% %8.2f %8.2f %8.2f %6.2f\n",
-		label, r.OfferedQPS, r.GoodputQPS,
-		100*float64(shed)/float64(r.Offered), 100*r.Utilization,
+		label, r.OfferedQPS, r.GoodputQPS, row.ShedPct, row.UtilPct,
 		it.P50Ms, it.P95Ms, it.P99Ms, r.FinalShedLevel)
+	return row
 }
 
 // parseRates parses "0.3,0.6,..." into multipliers.

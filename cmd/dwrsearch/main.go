@@ -33,7 +33,7 @@ func main() {
 	cacheTTL := flag.Int("cachettl", 0, "result-cache entry TTL in queries (0 = never expires)")
 	cacheShards := flag.Int("cacheshards", 0, "result-cache lock shards (0 = 8)")
 	cachePolicy := flag.String("cachepolicy", "sdc", "result-cache replacement: lru | lfu | sdc (sdc warms its static set from a query-log sample)")
-	plCache := flag.Int64("plcache", 0, "per-partition posting-list cache in bytes of decoded postings (0 = off)")
+	plCache := flag.Int64("plcache", 0, "per-partition posting-list cache budget in bytes of resident encoded blocks plus block metadata (0 = off)")
 	flag.Parse()
 
 	qproc.SetDefaultOptions(qproc.WithWorkers(*workers))

@@ -384,9 +384,9 @@ func Claim14IndexBuild() *Result {
 		name string
 		o    index.Options
 	}{
-		{"compressed + positions", index.Options{Compress: true, StorePositions: true, SkipInterval: 64}},
-		{"compressed, no positions", index.Options{Compress: true, StorePositions: false, SkipInterval: 64}},
-		{"fixed-width + positions", index.Options{Compress: false, StorePositions: true, SkipInterval: 64}},
+		{"compressed + positions", index.Options{Compress: true, StorePositions: true, BlockSize: 64}},
+		{"compressed, no positions", index.Options{Compress: true, StorePositions: false, BlockSize: 64}},
+		{"fixed-width + positions", index.Options{Compress: false, StorePositions: true, BlockSize: 64}},
 	} {
 		b := index.NewBuilder(row.o)
 		for _, d := range f.docs {

@@ -61,8 +61,8 @@ func TestAllBuildersProduceIdenticalIndexes(t *testing.T) {
 	docs := randomDocs(rng, 300, 80)
 	for _, opts := range []Options{
 		DefaultOptions(),
-		{Compress: false, StorePositions: true, SkipInterval: 32},
-		{Compress: true, StorePositions: false, SkipInterval: 0},
+		{Compress: false, StorePositions: true, BlockSize: 32},
+		{Compress: true, StorePositions: false, BlockSize: 0},
 	} {
 		ixs := allBuilderIndexes(t, docs, opts)
 		ref := ixs["builder"]

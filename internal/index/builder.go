@@ -113,9 +113,10 @@ func (b *Builder) BuildParallel(workers int) *Index {
 	for i, t := range terms {
 		ix.terms[t] = i
 	}
+	st := lengthsOf(b.docs, b.total)
 	conc.Do(len(terms), workers, func(i int) {
 		t := terms[i]
-		ix.termList[i] = termEntry{term: t, pl: encodePostings(b.posting[t], b.opts)}
+		ix.termList[i] = termEntry{term: t, pl: encodePostings(b.posting[t], b.opts, st)}
 	})
 	return ix
 }
@@ -190,6 +191,7 @@ func (b *SortBuilder) Build() *Index {
 		docByExt: b.byExt,
 		totalLen: b.total,
 	}
+	st := lengthsOf(b.docs, b.total)
 	i := 0
 	for i < len(b.recs) {
 		term := b.recs[i].term
@@ -208,7 +210,7 @@ func (b *SortBuilder) Build() *Index {
 			ps = append(ps, p)
 		}
 		ix.terms[term] = len(ix.termList)
-		ix.termList = append(ix.termList, termEntry{term: term, pl: encodePostings(ps, b.opts)})
+		ix.termList = append(ix.termList, termEntry{term: term, pl: encodePostings(ps, b.opts, st)})
 	}
 	return ix
 }

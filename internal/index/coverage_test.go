@@ -115,7 +115,7 @@ func TestDynamicDeleteUnknownNoop(t *testing.T) {
 }
 
 func TestReconstructTermsWithoutPositions(t *testing.T) {
-	opts := Options{Compress: true, StorePositions: false, SkipInterval: 0}
+	opts := Options{Compress: true, StorePositions: false, BlockSize: 0}
 	b := NewBuilder(opts)
 	b.AddDocument(3, []string{"x", "y", "x"})
 	ix := b.Build()

@@ -60,6 +60,7 @@ func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, er
 
 	// Global document table, sorted by external ID, shared by reducers.
 	ix, remap := mergeDocTables(opts, partials)
+	st := lengthsOf(ix.docs, ix.totalLen)
 
 	// Shuffle: assign terms to reducers by hash; each reducer merges its
 	// terms' postings from every partial.
@@ -104,7 +105,7 @@ func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, er
 					}
 				}
 				sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
-				out = append(out, reducedTerm{term: t, pl: encodePostings(merged, opts)})
+				out = append(out, reducedTerm{term: t, pl: encodePostings(merged, opts, st)})
 			}
 			results[r] = out
 		}(r)
@@ -216,6 +217,7 @@ func BuildPipeline(opts Options, docs []Doc, stages int) (*Index, error) {
 	wg.Wait()
 
 	// Collect stage outputs: term ranges are disjoint, so simple union.
+	st := lengthsOf(ix.docs, ix.totalLen)
 	var all []string
 	for s := 0; s < stages; s++ {
 		for t := range partialPost[s] {
@@ -227,7 +229,7 @@ func BuildPipeline(opts Options, docs []Doc, stages int) (*Index, error) {
 		ps := partialPost[stageOf(t)][t]
 		sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
 		ix.terms[t] = len(ix.termList)
-		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(ps, opts)})
+		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(ps, opts, st)})
 	}
 	return ix, nil
 }

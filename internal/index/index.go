@@ -115,8 +115,28 @@ func (ix *Index) PostingsInto(it *Iterator, term string) *Iterator {
 	if !ok {
 		return nil
 	}
-	*it = Iterator{pl: &ix.termList[i].pl, opts: ix.opts}
+	it.reset(&ix.termList[i].pl, ix.opts, false)
 	return it
+}
+
+// postingList returns the internal encoded list for term, or nil if the
+// term is absent. The posting-list cache shares these pointers rather
+// than copying: postingList values are immutable once built.
+func (ix *Index) postingList(term string) *postingList {
+	if i, ok := ix.terms[term]; ok {
+		return &ix.termList[i].pl
+	}
+	return nil
+}
+
+// EncodedListBytes returns the resident size of term's posting list as
+// the posting-list cache budgets it: encoded data bytes plus per-block
+// metadata overhead. 0 if the term is absent.
+func (ix *Index) EncodedListBytes(term string) int64 {
+	if i, ok := ix.terms[term]; ok {
+		return ix.termList[i].pl.memBytes()
+	}
+	return 0
 }
 
 // PostingBytes returns the encoded size in bytes of term's posting list,

@@ -110,7 +110,7 @@ func TestSkipToMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	docs := randomDocs(rng, 400, 60)
 	opts := DefaultOptions()
-	opts.SkipInterval = 16
+	opts.BlockSize = 16
 	b := NewBuilder(opts)
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
@@ -178,7 +178,7 @@ func TestSkipToThenNextContinues(t *testing.T) {
 func TestEncodeDecodeRoundTripProperty(t *testing.T) {
 	f := func(seed int64, compress bool, positions bool) bool {
 		rng := rand.New(rand.NewSource(seed))
-		opts := Options{Compress: compress, StorePositions: positions, SkipInterval: 8}
+		opts := Options{Compress: compress, StorePositions: positions, BlockSize: 8}
 		n := 1 + rng.Intn(200)
 		ps := make([]Posting, n)
 		doc := int32(0)
@@ -196,7 +196,7 @@ func TestEncodeDecodeRoundTripProperty(t *testing.T) {
 				ps[i].Pos = poss
 			}
 		}
-		pl := encodePostings(ps, opts)
+		pl := encodePostings(ps, opts, encodeStats{})
 		got := pl.decodeAll(opts)
 		if len(got) != len(ps) {
 			return false
@@ -222,7 +222,7 @@ func TestEncodePanicsOnUnsortedPostings(t *testing.T) {
 			t.Fatal("encodePostings accepted unsorted input")
 		}
 	}()
-	encodePostings([]Posting{{Doc: 5, TF: 1}, {Doc: 3, TF: 1}}, DefaultOptions())
+	encodePostings([]Posting{{Doc: 5, TF: 1}, {Doc: 3, TF: 1}}, DefaultOptions(), encodeStats{})
 }
 
 func TestDuplicateDocumentPanics(t *testing.T) {

@@ -60,6 +60,7 @@ func Merge(opts Options, parts ...*Index) (*Index, error) {
 	}
 	sort.Strings(terms)
 
+	st := lengthsOf(ix.docs, ix.totalLen)
 	for _, t := range terms {
 		var merged []Posting
 		for pi, p := range parts {
@@ -77,7 +78,7 @@ func Merge(opts Options, parts ...*Index) (*Index, error) {
 		}
 		sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
 		ix.terms[t] = len(ix.termList)
-		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(merged, opts)})
+		ix.termList = append(ix.termList, termEntry{term: t, pl: encodePostings(merged, opts, st)})
 	}
 	return ix, nil
 }

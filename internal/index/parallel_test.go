@@ -19,7 +19,7 @@ func twinBuilders(opts Options, docs []Doc) (*Builder, *Builder) {
 func TestBuildParallelEqualsSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	docs := randomDocs(rng, 500, 80)
-	for _, opts := range []Options{DefaultOptions(), {Compress: false, SkipInterval: 8}} {
+	for _, opts := range []Options{DefaultOptions(), {Compress: false, BlockSize: 8}} {
 		a, b := twinBuilders(opts, docs)
 		serial := a.Build()
 		par := b.BuildParallel(8)
@@ -59,12 +59,13 @@ func TestBuildAllEqualsIndividualBuilds(t *testing.T) {
 // TestSkipToRepeatedCallsMatchLinear drives a forward-only sequence of
 // SkipTo calls on one iterator — the access pattern of conjunctive
 // evaluation — and checks every landing against a linear-scan reference.
-// SkipInterval 4 forces the binary search over a dense skip table.
+// BlockSize 4 forces frequent block-boundary crossings and the binary
+// search over the block metadata.
 func TestSkipToRepeatedCallsMatchLinear(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	docs := randomDocs(rng, 600, 30)
 	opts := DefaultOptions()
-	opts.SkipInterval = 4
+	opts.BlockSize = 4
 	b := NewBuilder(opts)
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)

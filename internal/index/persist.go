@@ -6,26 +6,31 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 )
 
 // On-disk index format (little-endian):
 //
-//	magic "DWRIX1\n\x00"                     8 bytes
-//	options: compress, positions (2 bytes) + skipInterval (uvarint)
+//	magic "DWRIX2\n\x00"                     8 bytes
+//	options: compress, positions (2 bytes) + blockSize (uvarint)
 //	numDocs (uvarint), then per doc: ext (uvarint), length (uvarint)
 //	numTerms (uvarint), then per term:
 //	    len(term) (uvarint), term bytes,
 //	    count (uvarint), cf (uvarint),
+//	    satScale (float64 bits, uvarint), quantAvg (float64 bits, uvarint),
 //	    len(data) (uvarint), data bytes,
-//	    numSkips (uvarint), per skip: doc (uvarint), offset (uvarint), index (uvarint)
+//	    numBlocks (uvarint), per block: lastDoc (uvarint), maxTF (uvarint),
+//	        minLen (uvarint), maxQ (1 byte), offset (uvarint)
 //	crc32 (IEEE) of everything after the magic   4 bytes
 //
 // The format exists so a deployment can build an index offline, ship the
 // file to query processors, and swap it in — the paper's "halt a part of
-// the index, substitute it and re-initiate".
+// the index, substitute it and re-initiate". Version 2 replaced the flat
+// skip table with skip-aligned blocks plus block-max metadata; DWRIX1
+// files are rejected (rebuild the index).
 
-var persistMagic = [8]byte{'D', 'W', 'R', 'I', 'X', '1', '\n', 0}
+var persistMagic = [8]byte{'D', 'W', 'R', 'I', 'X', '2', '\n', 0}
 
 // WriteFile writes the index to path atomically (write temp + rename).
 func (ix *Index) WriteFile(path string) error {
@@ -104,7 +109,7 @@ func (ix *Index) Write(w io.Writer) error {
 	if err := putBool(ix.opts.StorePositions); err != nil {
 		return err
 	}
-	if err := putUvarint(uint64(ix.opts.SkipInterval)); err != nil {
+	if err := putUvarint(uint64(ix.opts.BlockSize)); err != nil {
 		return err
 	}
 
@@ -137,23 +142,35 @@ func (ix *Index) Write(w io.Writer) error {
 		if err := putUvarint(uint64(e.pl.cf)); err != nil {
 			return err
 		}
+		if err := putUvarint(math.Float64bits(e.pl.satScale)); err != nil {
+			return err
+		}
+		if err := putUvarint(math.Float64bits(e.pl.quantAvg)); err != nil {
+			return err
+		}
 		if err := putUvarint(uint64(len(e.pl.data))); err != nil {
 			return err
 		}
 		if _, err := cw.Write(e.pl.data); err != nil {
 			return err
 		}
-		if err := putUvarint(uint64(len(e.pl.skips))); err != nil {
+		if err := putUvarint(uint64(len(e.pl.blocks))); err != nil {
 			return err
 		}
-		for _, s := range e.pl.skips {
-			if err := putUvarint(uint64(s.doc)); err != nil {
+		for _, b := range e.pl.blocks {
+			if err := putUvarint(uint64(b.lastDoc)); err != nil {
 				return err
 			}
-			if err := putUvarint(uint64(s.offset)); err != nil {
+			if err := putUvarint(uint64(b.maxTF)); err != nil {
 				return err
 			}
-			if err := putUvarint(uint64(s.index)); err != nil {
+			if err := putUvarint(uint64(b.minLen)); err != nil {
+				return err
+			}
+			if _, err := cw.Write([]byte{b.maxQ}); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(b.offset)); err != nil {
 				return err
 			}
 		}
@@ -211,11 +228,11 @@ func Read(r io.Reader) (*Index, error) {
 	if ix.opts.StorePositions, err = readBool(); err != nil {
 		return nil, fmt.Errorf("index: reading options: %w", err)
 	}
-	si, err := readUvarint()
+	bs, err := readUvarint()
 	if err != nil {
 		return nil, fmt.Errorf("index: reading options: %w", err)
 	}
-	ix.opts.SkipInterval = int(si)
+	ix.opts.BlockSize = int(bs)
 
 	nDocs, err := readUvarint()
 	if err != nil {
@@ -268,6 +285,14 @@ func Read(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: reading term %d cf: %w", i, err)
 		}
+		satBits, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d quantization: %w", i, err)
+		}
+		avgBits, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d quantization: %w", i, err)
+		}
 		dl, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("index: reading term %d data: %w", i, err)
@@ -279,33 +304,46 @@ func Read(r io.Reader) (*Index, error) {
 		if _, err := io.ReadFull(cr, data); err != nil {
 			return nil, fmt.Errorf("index: reading term %d data: %w", i, err)
 		}
-		nSkips, err := readUvarint()
+		nBlocks, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("index: reading term %d skips: %w", i, err)
+			return nil, fmt.Errorf("index: reading term %d blocks: %w", i, err)
 		}
-		if nSkips > maxEntities {
-			return nil, fmt.Errorf("index: implausible skip count %d", nSkips)
+		if nBlocks > maxEntities {
+			return nil, fmt.Errorf("index: implausible block count %d", nBlocks)
 		}
-		skips := make([]skipEntry, nSkips)
-		for s := range skips {
-			doc, err := readUvarint()
+		blocks := make([]blockMeta, nBlocks)
+		for b := range blocks {
+			lastDoc, err := readUvarint()
 			if err != nil {
-				return nil, fmt.Errorf("index: reading skip: %w", err)
+				return nil, fmt.Errorf("index: reading block: %w", err)
+			}
+			maxTF, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading block: %w", err)
+			}
+			minLen, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading block: %w", err)
+			}
+			maxQ, err := cr.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("index: reading block: %w", err)
 			}
 			off, err := readUvarint()
 			if err != nil {
-				return nil, fmt.Errorf("index: reading skip: %w", err)
+				return nil, fmt.Errorf("index: reading block: %w", err)
 			}
-			idx, err := readUvarint()
-			if err != nil {
-				return nil, fmt.Errorf("index: reading skip: %w", err)
+			blocks[b] = blockMeta{
+				lastDoc: int32(lastDoc), maxTF: int32(maxTF),
+				minLen: int32(minLen), maxQ: maxQ, offset: uint32(off),
 			}
-			skips[s] = skipEntry{doc: int32(doc), offset: int(off), index: int(idx)}
 		}
 		term := string(tb)
 		ix.terms[term] = i
 		ix.termList[i] = termEntry{term: term, pl: postingList{
-			count: int(count), cf: int64(cf), data: data, skips: skips,
+			count: int(count), cf: int64(cf), data: data, blocks: blocks,
+			satScale: math.Float64frombits(satBits),
+			quantAvg: math.Float64frombits(avgBits),
 		}}
 	}
 

@@ -13,8 +13,8 @@ func TestPersistRoundTrip(t *testing.T) {
 	docs := randomDocs(rng, 300, 60)
 	for _, opts := range []Options{
 		DefaultOptions(),
-		{Compress: false, StorePositions: true, SkipInterval: 16},
-		{Compress: true, StorePositions: false, SkipInterval: 0},
+		{Compress: false, StorePositions: true, BlockSize: 16},
+		{Compress: true, StorePositions: false, BlockSize: 0},
 	} {
 		b := NewBuilder(opts)
 		for _, d := range docs {
@@ -36,14 +36,25 @@ func TestPersistRoundTrip(t *testing.T) {
 		if got.Options() != opts {
 			t.Fatalf("options %+v round-tripped as %+v", opts, got.Options())
 		}
-		// Skip table must survive: SkipTo still works.
-		if opts.SkipInterval > 0 {
-			term := got.Terms()[0]
-			it := got.Postings(term)
-			if it.Count() > 2 {
-				if !it.SkipTo(0) {
-					t.Fatal("SkipTo failed on loaded index")
-				}
+		// Block metadata must survive: SkipTo still works and the block
+		// bounds match the rebuilt index.
+		term := got.Terms()[0]
+		it := got.Postings(term)
+		if it.Count() > 2 {
+			if !it.SkipTo(0) {
+				t.Fatal("SkipTo failed on loaded index")
+			}
+		}
+		ref := ix.Postings(term)
+		if it.NumBlocks() != ref.NumBlocks() {
+			t.Fatalf("block count %d round-tripped as %d", ref.NumBlocks(), it.NumBlocks())
+		}
+		for bi := 0; bi < ref.NumBlocks(); bi++ {
+			if it.BlockLastDoc(bi) != ref.BlockLastDoc(bi) ||
+				it.BlockMaxTF(bi) != ref.BlockMaxTF(bi) ||
+				it.BlockMinDocLen(bi) != ref.BlockMinDocLen(bi) ||
+				it.BlockMaxSat(bi) != ref.BlockMaxSat(bi) {
+				t.Fatalf("block %d metadata differs after round trip", bi)
 			}
 		}
 	}

@@ -6,35 +6,31 @@ import (
 	"dwr/internal/cache"
 )
 
-// PostingMemBytes approximates the in-memory weight of one decoded
-// Posting (Doc + TF + the unused Pos slice header). The posting-list
-// cache budgets in these units so its capacity flag reads as bytes.
-const PostingMemBytes = 32
-
 // PostingsCache is the second cache level of the hierarchy in Section 5:
-// a per-partition-server cache of *decoded* posting lists, sized in
-// bytes of postings rather than entry count (one stop-word list can
-// outweigh ten thousand tail terms). It lives outside Index — Index
-// stays immutable and safely shareable — and is bound to a concrete
-// index per evaluation via Bind. Replacement is least-frequently-used
-// with LRU tiebreak over the byte budget; lists larger than the whole
-// budget are served decoded but never admitted.
+// a per-partition-server cache of *encoded* posting lists (block data
+// plus block metadata), sized in resident bytes rather than entry count
+// (one stop-word list can outweigh ten thousand tail terms). It lives
+// outside Index — Index stays immutable and safely shareable — and is
+// bound to a concrete index per evaluation via Bind. Replacement is
+// least-frequently-used with LRU tiebreak over the byte budget; lists
+// larger than the whole budget are served but never admitted.
 //
-// A hit hands evaluation an Iterator in decoded mode: no varint
-// decoding, and SkipTo becomes a binary search over the slice. The
-// decoded slices are immutable after insertion, so one cached decode can
-// back any number of concurrent evaluations.
+// Entries are the index's own immutable postingList values, so a hit
+// costs a map lookup and an iterator reset: decoding stays lazy, one
+// block at a time, through the ordinary Iterator/SkipTo path, and the
+// byte budget reflects real resident memory (len(data) plus
+// BlockMetaBytes per block) instead of a decoded-slice estimate.
 type PostingsCache struct {
 	mu sync.Mutex
-	c  *cache.SizedLFU[[]Posting]
+	c  *cache.SizedLFU[*postingList]
 }
 
 // NewPostingsCache creates a posting-list cache holding at most
-// budgetBytes worth of decoded postings (PostingMemBytes each).
+// budgetBytes of encoded posting data plus block-metadata overhead.
 func NewPostingsCache(budgetBytes int64) *PostingsCache {
 	return &PostingsCache{
-		c: cache.NewSizedLFU[[]Posting](budgetBytes, func(ps []Posting) int64 {
-			return int64(len(ps)) * PostingMemBytes
+		c: cache.NewSizedLFU[*postingList](budgetBytes, func(pl *postingList) int64 {
+			return pl.memBytes()
 		}),
 	}
 }
@@ -57,8 +53,8 @@ func (pc *PostingsCache) Bind(ix *Index) *CachedPostings {
 }
 
 // CachedPostings adapts a PostingsCache + Index pair to the postings-
-// provider shape rank evaluation consumes: PostingsInto serves decoded
-// slices from the cache and falls through to (and populates from) the
+// provider shape rank evaluation consumes: PostingsInto serves encoded
+// lists from the cache and falls through to (and populates from) the
 // index on a miss.
 type CachedPostings struct {
 	pc     *PostingsCache
@@ -76,27 +72,28 @@ func (cp *CachedPostings) PostingsInto(it *Iterator, term string) *Iterator {
 	cp.pc.mu.Unlock()
 	if ok {
 		cp.Hits++
-		return resetDecoded(it, e.Value)
+		it.reset(e.Value, cp.ix.opts, false)
+		return it
 	}
-	ps := cp.ix.DecodedPostings(term)
-	if ps == nil {
+	pl := cp.ix.postingList(term)
+	if pl == nil {
 		return nil
 	}
 	cp.Misses++
 	cp.pc.mu.Lock()
-	cp.pc.c.Put(term, ps, 0)
+	cp.pc.c.Put(term, pl, 0)
 	cp.pc.mu.Unlock()
-	return resetDecoded(it, ps)
+	it.reset(pl, cp.ix.opts, false)
+	return it
 }
 
 // DecodedPostings materializes term's posting list without positions
 // (the evaluation-path decode), or nil if the term is absent.
 func (ix *Index) DecodedPostings(term string) []Posting {
-	i, ok := ix.terms[term]
-	if !ok {
+	pl := ix.postingList(term)
+	if pl == nil {
 		return nil
 	}
-	pl := &ix.termList[i].pl
 	out := make([]Posting, 0, pl.count)
 	it := newIterator(pl, ix.opts, false)
 	for it.Next() {

@@ -99,9 +99,14 @@ func TestCachedPostingsSkipToMatches(t *testing.T) {
 
 func TestPostingsCacheBudget(t *testing.T) {
 	ix := plcacheIndex(t)
-	// Budget fits only a handful of tail lists; "common" (200 postings ×
-	// 32 bytes) must not be admitted.
-	pc := NewPostingsCache(10 * PostingMemBytes)
+	// Budget fits the one-posting tail list but not "common" (200
+	// postings): size the budget from the actual encoded bytes.
+	small, big := ix.EncodedListBytes("u21"), ix.EncodedListBytes("common")
+	if small <= 0 || big <= small {
+		t.Fatalf("unexpected encoded sizes: u21=%d common=%d", small, big)
+	}
+	budget := small + (big-small)/2
+	pc := NewPostingsCache(budget)
 	cp := pc.Bind(ix)
 	var it Iterator
 	if cp.PostingsInto(&it, "common") == nil {
@@ -118,8 +123,34 @@ func TestPostingsCacheBudget(t *testing.T) {
 	if cp3.Hits != 1 {
 		t.Fatal("small list not cached")
 	}
-	if _, _, used := pc.Stats(); used > 10*PostingMemBytes {
-		t.Fatalf("used %d exceeds budget", used)
+	if _, _, used := pc.Stats(); used > budget {
+		t.Fatalf("used %d exceeds budget %d", used, budget)
+	}
+}
+
+// TestPostingsCacheChargesEncodedBytes pins the cache's cost accounting
+// to the real resident size of an entry: encoded data bytes plus
+// BlockMetaBytes per block, exactly what Index.EncodedListBytes reports.
+func TestPostingsCacheChargesEncodedBytes(t *testing.T) {
+	ix := plcacheIndex(t)
+	terms := []string{"common", "third", "u21"}
+	pc := NewPostingsCache(1 << 20)
+	cp := pc.Bind(ix)
+	var want int64
+	for _, term := range terms {
+		var it Iterator
+		if cp.PostingsInto(&it, term) == nil {
+			t.Fatalf("term %q missing", term)
+		}
+		enc := ix.EncodedListBytes(term)
+		if enc != int64(ix.PostingBytes(term))+int64(it.NumBlocks())*BlockMetaBytes {
+			t.Fatalf("term %q: EncodedListBytes %d inconsistent with data %d + %d blocks",
+				term, enc, ix.PostingBytes(term), it.NumBlocks())
+		}
+		want += enc
+	}
+	if _, _, used := pc.Stats(); used != want {
+		t.Fatalf("cache charges %d bytes, actual resident encoded size is %d", used, want)
 	}
 }
 

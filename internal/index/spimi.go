@@ -205,6 +205,7 @@ func (b *SPIMIBuilder) Build() (*Index, error) {
 	}
 	heap.Init(&h)
 
+	st := lengthsOf(b.docs, b.total)
 	var curTerm string
 	var curPostings []Posting
 	flushTerm := func() {
@@ -212,7 +213,7 @@ func (b *SPIMIBuilder) Build() (*Index, error) {
 			return
 		}
 		ix.terms[curTerm] = len(ix.termList)
-		ix.termList = append(ix.termList, termEntry{term: curTerm, pl: encodePostings(curPostings, b.opts)})
+		ix.termList = append(ix.termList, termEntry{term: curTerm, pl: encodePostings(curPostings, b.opts, st)})
 		curPostings = nil
 	}
 	first := true

@@ -79,6 +79,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		dir  string
 	}{
 		{"determinism", "testdata/simweb"},
+		{"determinism-evaluator", "testdata/rank"},
 		{"determinism-file-allow", "testdata/experiments"},
 		{"deprecated-api", "testdata/qprocuse"},
 		{"deadline-server", "testdata/server"},
@@ -110,6 +111,7 @@ func TestFindingsAreNonEmptyOnFixtures(t *testing.T) {
 	findings, err := LintPatterns(".", []string{
 		"testdata/simweb", "testdata/experiments", "testdata/qprocuse",
 		"testdata/server", "testdata/dwrserve", "testdata/index",
+		"testdata/rank",
 	}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

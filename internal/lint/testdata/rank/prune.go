@@ -1,0 +1,41 @@
+// Fixture: determinism violations in an evaluator package (the
+// directory base name "rank" is in the deterministic set, covering the
+// block codec's pruned-evaluation path). A dynamic-pruning evaluator is
+// exactly where these bugs creep in: timing a skip decision on the wall
+// clock or breaking score ties with the global rand makes the "rank-
+// identical to exhaustive" guarantee replay-dependent. Parse-only — the
+// go tool never builds testdata.
+package rank
+
+import (
+	"math/rand"
+	"time"
+)
+
+type cursor struct{ doc int32 }
+
+// skipDecision times block skips on the real clock — replays diverge
+// between runs and machines.
+func skipDecision(cs []cursor) bool {
+	start := time.Now() // want wallclock
+	for range cs {
+	}
+	return time.Since(start) < time.Microsecond // want wallclock
+}
+
+// tieBreak draws from the process-global source, so the top-k ordering
+// depends on everything else that has drawn from it.
+func tieBreak(a, b cursor) cursor {
+	if rand.Intn(2) == 0 { // want globalrand
+		return a
+	}
+	return b
+}
+
+// sampleBlocks reseeds the shared source and shuffles with it.
+func sampleBlocks(blocks []int) {
+	rand.Seed(99)                              // want globalrand
+	rand.Shuffle(len(blocks), func(i, j int) { // want globalrand
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	})
+}

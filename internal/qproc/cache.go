@@ -197,8 +197,8 @@ func DocCacheKey(terms []string, opt DocQueryOptions) string {
 	if opt.Conjunctive {
 		conj = 1
 	}
-	return fmt.Sprintf("%s|k=%d|st=%d|c=%d|sel=%d",
-		NormalizeQueryKey(terms), opt.K, int(opt.Stats), conj, sel)
+	return fmt.Sprintf("%s|k=%d|st=%d|c=%d|sel=%d|pr=%d",
+		NormalizeQueryKey(terms), opt.K, int(opt.Stats), conj, sel, int(opt.Pruning))
 }
 
 // TermCacheKey is the full result-cache key of a TermEngine query.

@@ -52,12 +52,16 @@ type QueryResult struct {
 	PostingsDecoded  int   // postings touched across all servers
 	ListsAccessed    int   // posting-list fetches (disk accesses) across all servers
 	PostingBytesRead int64 // encoded posting bytes accessed (disk cost)
-	BytesTransferred int64 // result/accumulator bytes moved between servers
-	FromCache        bool
-	Stale            bool // answered from cache beyond its freshness TTL
-	Degraded         bool // some selected servers were down; partial answer
-	Retries          int  // partition-call retries the fault policy spent
-	Hedges           int  // hedged backup requests the fault policy fired
+	// PostingBytesDecoded is the encoded bytes actually decoded (blocks
+	// touched); dynamic pruning lowers this below PostingBytesRead by
+	// skipping non-competitive blocks.
+	PostingBytesDecoded int64
+	BytesTransferred    int64 // result/accumulator bytes moved between servers
+	FromCache           bool
+	Stale               bool // answered from cache beyond its freshness TTL
+	Degraded            bool // some selected servers were down; partial answer
+	Retries             int  // partition-call retries the fault policy spent
+	Hedges              int  // hedged backup requests the fault policy fired
 	// Err is set when the engine could not produce an acceptable answer:
 	// ErrUnavailable under a fail-fast fault policy, ErrAllSitesDown when
 	// a multi-site query found no reachable processor. Inspect with

@@ -48,6 +48,9 @@ type DocEngine struct {
 	// fault-injection layer); nil unless fault options were given, in
 	// which case partition calls route through it at the gather point.
 	rb *robustness
+	// pruning is the default top-k strategy for disjunctive queries
+	// (WithPruning); DocQueryOptions.Pruning overrides per query.
+	pruning rank.Pruning
 	// topkOpts are the per-query options QueryTopK (the uniform Engine
 	// surface) uses; K is overridden per call.
 	topkOpts DocQueryOptions
@@ -99,6 +102,7 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	e.rcache = eo.resultCache()
 	e.installPostingsCache(eo.plBytes)
 	e.rb = eo.robust(dp.K)
+	e.pruning = eo.pruning
 	if eo.docDefault != nil {
 		e.topkOpts = *eo.docDefault
 	}
@@ -237,6 +241,11 @@ type DocQueryOptions struct {
 	Selector    selection.Selector // nil = contact every partition
 	SelectN     int                // partitions to contact when Selector is set
 	Conjunctive bool
+	// Pruning selects the disjunctive top-k strategy for this query;
+	// rank.PruneNone (the zero value) defers to the engine's WithPruning
+	// default. Rankings are identical across strategies — only the decode
+	// work (and thus PostingBytesDecoded) changes.
+	Pruning rank.Pruning
 	// DeadlineMs, when > 0, is the query's latency budget: it tightens
 	// the fault policy's per-call deadline on every partition call, and
 	// an answer that would still arrive later than the budget is dropped
@@ -258,6 +267,9 @@ type partEval struct {
 func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	if opt.K <= 0 {
 		opt.K = 10
+	}
+	if opt.Pruning == rank.PruneNone {
+		opt.Pruning = e.pruning
 	}
 	var ckey string
 	if e.rcache != nil {
@@ -359,7 +371,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	conc.Do(len(targets), e.workers, func(i int) {
 		p := targets[i]
 		ix := e.parts[p]
-		// Level 2: serve decoded posting lists from the partition
+		// Level 2: serve encoded posting lists from the partition
 		// server's cache when configured. The provider contract keeps
 		// results and accounting byte-identical either way.
 		var pp rank.PostingsProvider = ix
@@ -369,7 +381,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 		if opt.Conjunctive {
 			evals[i].rs, evals[i].es = rank.EvaluateANDFrom(pp, ix, scorers[i], terms, opt.K)
 		} else {
-			evals[i].rs, evals[i].es = rank.EvaluateORFrom(pp, ix, scorers[i], terms, opt.K)
+			evals[i].rs, evals[i].es = rank.EvaluateTopKFrom(pp, ix, scorers[i], terms, opt.K, opt.Pruning)
 		}
 	})
 	lists := make([][]rank.Result, len(targets))
@@ -409,6 +421,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 		qr.PostingsDecoded += es.PostingsDecoded
 		qr.ListsAccessed += es.ListsAccessed
 		qr.PostingBytesRead += es.BytesRead
+		qr.PostingBytesDecoded += es.BytesDecoded
 		qr.BytesTransferred += resultBytes(len(evals[i].rs))
 		lists[i] = evals[i].rs
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dwr/internal/faultsim"
+	"dwr/internal/rank"
 )
 
 // Option configures an engine at construction. The same options apply
@@ -28,6 +29,7 @@ type engineOptions struct {
 	policy     *FaultPolicy
 	injector   *faultsim.Injector
 	docDefault *DocQueryOptions
+	pruning    rank.Pruning
 }
 
 // WithWorkers sets the engine's fan-out width: partition evaluations
@@ -79,6 +81,19 @@ func WithPostingsCache(bytesPerServer int64) Option {
 		o.plBytes = bytesPerServer
 		o.plSet = true
 	}
+}
+
+// WithPruning selects the engine's default top-k evaluation strategy
+// for disjunctive queries: rank.PruneMaxScore or rank.PruneBlockMax
+// enable dynamic pruning over the block-max posting metadata,
+// rank.PruneNone (the default) evaluates exhaustively. Pruned and
+// exhaustive evaluation are rank-identical (see rank.EvaluateTopK); only
+// the decode work differs, so brokers, caches, fault policy, and
+// deadline propagation compose unchanged. Per-query DocQueryOptions.
+// Pruning overrides this default. Engines without a disjunctive
+// document-at-a-time path (TermEngine) ignore it.
+func WithPruning(mode rank.Pruning) Option {
+	return func(o *engineOptions) { o.pruning = mode }
 }
 
 // WithFaultPolicy activates the robustness policy on the engine's

@@ -185,10 +185,11 @@ type accEntry struct {
 // per-posting score deltas its terms add to the travelling accumulator,
 // plus the resource counters the gather folds in route order.
 type hopEval struct {
-	entries   []accEntry
-	postings  int
-	lists     int
-	bytesRead int64
+	entries      []accEntry
+	postings     int
+	lists        int
+	bytesRead    int64
+	bytesDecoded int64
 }
 
 // Query evaluates terms through the pipeline and returns the top-k.
@@ -260,6 +261,7 @@ func (e *TermEngine) query(terms []string, k int, deadlineMs float64) QueryResul
 					delta: e.scorer.Term(p.TF, ix.DocLen(p.Doc), idf),
 				})
 			}
+			h.bytesDecoded += it.BytesDecoded()
 		}
 	})
 
@@ -334,6 +336,7 @@ func (e *TermEngine) query(terms []string, k int, deadlineMs float64) QueryResul
 		qr.ListsAccessed += h.lists
 		qr.PostingsDecoded += h.postings
 		qr.PostingBytesRead += h.bytesRead
+		qr.PostingBytesDecoded += h.bytesDecoded
 		// The partially-resolved query (accumulator) moves to the next
 		// server.
 		qr.BytesTransferred += resultBytes(len(acc))

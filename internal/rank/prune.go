@@ -1,0 +1,303 @@
+package rank
+
+import (
+	"math"
+
+	"dwr/internal/index"
+)
+
+// Pruning selects the top-k evaluation strategy for disjunctive queries.
+type Pruning int
+
+const (
+	// PruneNone evaluates every candidate document exhaustively.
+	PruneNone Pruning = iota
+	// PruneMaxScore partitions lists into essential and non-essential by
+	// score upper bound (Turtle & Flood): documents appearing only in
+	// non-essential lists are never scored once the top-k threshold
+	// exceeds their combined bound, and non-essential probes abandon
+	// early.
+	PruneMaxScore
+	// PruneBlockMax is PruneMaxScore plus block-level skipping (Ding &
+	// Suel's Block-Max WAND idea): when the current candidates' per-block
+	// upper bounds cannot beat the threshold, the evaluator skips past
+	// whole blocks without decoding them.
+	PruneBlockMax
+)
+
+// pruneSlack is the relative score tolerance of the pruned evaluators: a
+// document is abandoned only when its upper bound is below threshold ×
+// (1 − pruneSlack). Survivor scores are recomputed in original term
+// order, so every returned score is bitwise-identical to the exhaustive
+// evaluator's; the slack only guards the skip decisions against
+// accumulation-order rounding (~1e-16 relative) in the partial sums the
+// bounds are built from. Documents whose true score lies within
+// pruneSlack of the running threshold are therefore always scored, never
+// pruned — this is the documented tolerance of the rank-identity
+// guarantee.
+const pruneSlack = 1e-9
+
+// pruneCursor is one term's posting cursor plus the precomputed bounds
+// dynamic pruning decides with.
+type pruneCursor struct {
+	it    *index.Iterator
+	idf   float64
+	ub    float64 // list-wide score upper bound
+	doc   int32   // current document, valid while !done
+	tf    int32
+	quant bool // quantized block bounds valid for this scorer
+	done  bool
+}
+
+// blockUB bounds every score in the cursor's current block: the
+// quantized bound when the scorer matches the constants the index was
+// encoded with, otherwise the analytic bound from the block's maxTF and
+// minimum document length (Scorer.Term is monotone increasing in tf and
+// decreasing in docLen, so this is exact for any parameterization).
+func (c *pruneCursor) blockUB(s *Scorer, b int) float64 {
+	if c.quant {
+		return c.idf * c.it.BlockMaxSat(b)
+	}
+	return s.Term(c.it.BlockMaxTF(b), int(c.it.BlockMinDocLen(b)), c.idf)
+}
+
+// listUB bounds every score in the list: the maximum block bound.
+func (c *pruneCursor) listUB(s *Scorer) float64 {
+	var ub float64
+	for b := 0; b < c.it.NumBlocks(); b++ {
+		if u := c.blockUB(s, b); u > ub {
+			ub = u
+		}
+	}
+	return ub
+}
+
+// EvaluateTopK scores the disjunction of the query terms over ix and
+// returns the top k results by score, using the selected dynamic-pruning
+// strategy. Results are rank-identical to EvaluateOR (see pruneSlack for
+// the tolerance argument); only the work done differs.
+func EvaluateTopK(ix *index.Index, s *Scorer, terms []string, k int, mode Pruning) ([]Result, EvalStats) {
+	return EvaluateTopKFrom(ix, ix, s, terms, k, mode)
+}
+
+// EvaluateTopKFrom is EvaluateTopK over a PostingsProvider; see
+// EvaluateORFrom for the provider contract.
+func EvaluateTopKFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []string, k int, mode Pruning) ([]Result, EvalStats) {
+	if mode == PruneNone || k <= 0 {
+		return EvaluateORFrom(pp, ix, s, terms, k)
+	}
+	var es EvalStats
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	uniq := sc.dedup(terms)
+	its := sc.iters(len(uniq))
+	sc.pcs = sc.pcs[:0]
+	for _, t := range uniq {
+		it := pp.PostingsInto(&its[len(sc.pcs)], t)
+		if it == nil {
+			continue
+		}
+		es.BytesRead += int64(ix.PostingBytes(t))
+		es.ListsAccessed++
+		c := pruneCursor{it: it, idf: s.IDF(t)}
+		c.quant = it.QuantValidFor(s.K1, s.B, s.Stats.AvgDocLen)
+		c.ub = c.listUB(s)
+		sc.pcs = append(sc.pcs, c)
+	}
+	cursors := sc.pcs
+	finish := func(tk *topK) ([]Result, EvalStats) {
+		for i := range cursors {
+			es.BytesDecoded += cursors[i].it.BytesDecoded()
+		}
+		sc.heap = tk.rs[:0]
+		return tk.results(), es
+	}
+	tk := &topK{k: k, rs: sc.heap[:0]}
+	if len(cursors) == 0 {
+		return nil, es
+	}
+	for i := range cursors {
+		if cursors[i].it.Next() {
+			es.PostingsDecoded++
+			p := cursors[i].it.Posting()
+			cursors[i].doc, cursors[i].tf = p.Doc, p.TF
+		} else {
+			cursors[i].done = true
+		}
+	}
+
+	// Cursor indices ordered by ascending list upper bound (index
+	// tiebreak keeps the order deterministic); prefix[j] bounds the total
+	// contribution of the j+1 lowest-impact lists. Both are fixed for the
+	// whole evaluation — only the essential/non-essential boundary m moves
+	// as the threshold rises.
+	if cap(sc.order) < len(cursors) {
+		sc.order = make([]int, len(cursors))
+		sc.prefix = make([]float64, len(cursors))
+		sc.tfs = make([]int32, len(cursors))
+	}
+	order, prefix, tfs := sc.order[:len(cursors)], sc.prefix[:len(cursors)], sc.tfs[:len(cursors)]
+	for i := range order {
+		order[i] = i
+	}
+	for swapped := true; swapped; { // tiny n: insertion-ordered bubble pass
+		swapped = false
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			if cursors[a].ub > cursors[b].ub || (cursors[a].ub == cursors[b].ub && a > b) {
+				order[i-1], order[i] = b, a
+				swapped = true
+			}
+		}
+	}
+	sum := 0.0
+	for j, i := range order {
+		sum += cursors[i].ub
+		prefix[j] = sum
+	}
+
+	m := 0 // cursors order[:m] are non-essential
+	for {
+		thr := math.Inf(-1)
+		if len(tk.rs) >= k {
+			t := tk.rs[0].Score
+			thr = t - pruneSlack*math.Abs(t)
+		}
+		for m < len(order) && prefix[m] < thr {
+			m++
+		}
+		if m == len(order) {
+			// Even all lists together cannot reach the threshold.
+			return finish(tk)
+		}
+		// Candidate: minimum current document over essential cursors.
+		d := int32(math.MaxInt32)
+		alive := false
+		for _, i := range order[m:] {
+			if c := &cursors[i]; !c.done {
+				alive = true
+				if c.doc < d {
+					d = c.doc
+				}
+			}
+		}
+		if !alive {
+			return finish(tk)
+		}
+
+		if mode == PruneBlockMax && !math.IsInf(thr, -1) {
+			// Block-level check: bound the candidate by the current blocks
+			// of the essential cursors positioned at it. If non-competitive,
+			// every document up to the nearest of (a) those blocks' last
+			// documents and (b) the next essential cursor's document is
+			// equally bounded, so skip the whole range without decoding.
+			bound := 0.0
+			if m > 0 {
+				bound = prefix[m-1]
+			}
+			blockLast := int32(math.MaxInt32)
+			next := int32(math.MaxInt32)
+			for _, i := range order[m:] {
+				c := &cursors[i]
+				if c.done {
+					continue
+				}
+				if c.doc == d {
+					bound += c.blockUB(s, c.it.CurrentBlock())
+					if l := c.it.BlockLastDoc(c.it.CurrentBlock()); l < blockLast {
+						blockLast = l
+					}
+				} else if c.doc < next {
+					next = c.doc
+				}
+			}
+			if bound < thr {
+				target := blockLast + 1
+				if next < target {
+					target = next
+				}
+				if target <= d {
+					target = d + 1
+				}
+				for _, i := range order[m:] {
+					c := &cursors[i]
+					if c.done || c.doc != d {
+						continue
+					}
+					if c.it.SkipTo(target) {
+						es.PostingsDecoded++
+						p := c.it.Posting()
+						c.doc, c.tf = p.Doc, p.TF
+					} else {
+						c.done = true
+					}
+				}
+				continue
+			}
+		}
+
+		// Score the candidate: essential contributions first, then probe
+		// non-essential lists in descending bound order, abandoning as soon
+		// as the remaining bound cannot lift the partial sum past the
+		// threshold.
+		docLen := ix.DocLen(d)
+		for i := range tfs {
+			tfs[i] = 0
+		}
+		partial := 0.0
+		for _, i := range order[m:] {
+			if c := &cursors[i]; !c.done && c.doc == d {
+				tfs[i] = c.tf
+				partial += s.Term(c.tf, docLen, c.idf)
+			}
+		}
+		abandoned := false
+		for j := m - 1; j >= 0; j-- {
+			if partial+prefix[j] < thr {
+				abandoned = true
+				break
+			}
+			c := &cursors[order[j]]
+			if c.done {
+				continue
+			}
+			if c.doc < d {
+				if !c.it.SkipTo(d) {
+					c.done = true
+					continue
+				}
+				es.PostingsDecoded++
+				p := c.it.Posting()
+				c.doc, c.tf = p.Doc, p.TF
+			}
+			if c.doc == d {
+				tfs[order[j]] = c.tf
+				partial += s.Term(c.tf, docLen, c.idf)
+			}
+		}
+		if !abandoned {
+			// Recompute the survivor's score in original term order so it is
+			// bitwise-identical to the exhaustive evaluator's sum.
+			score := 0.0
+			for i := range cursors {
+				if tfs[i] > 0 {
+					score += s.Term(tfs[i], docLen, cursors[i].idf)
+				}
+			}
+			tk.offer(Result{Doc: ix.ExtID(d), Score: score})
+		}
+		for _, i := range order[m:] {
+			c := &cursors[i]
+			if c.done || c.doc != d {
+				continue
+			}
+			if c.it.Next() {
+				es.PostingsDecoded++
+				p := c.it.Posting()
+				c.doc, c.tf = p.Doc, p.TF
+			} else {
+				c.done = true
+			}
+		}
+	}
+}

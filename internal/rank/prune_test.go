@@ -1,0 +1,167 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dwr/internal/index"
+)
+
+// pruneCorpus builds a seeded Zipf-ish corpus large enough that dynamic
+// pruning actually skips blocks: 2000 docs over a 600-term vocabulary
+// with frequency rank t appearing roughly 1/t as often.
+func pruneCorpus(seed int64, opts index.Options) *index.Index {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.4, 1.0, 599)
+	b := index.NewBuilder(opts)
+	for d := 0; d < 2000; d++ {
+		n := 20 + rng.Intn(60)
+		terms := make([]string, n)
+		for i := range terms {
+			terms[i] = "t" + string(rune('a'+int(z.Uint64())%26)) + string(rune('a'+int(z.Uint64())%26))
+		}
+		b.AddDocument(d, terms)
+	}
+	return b.Build()
+}
+
+func pruneQueries(rng *rand.Rand, ix *index.Index, n int) [][]string {
+	terms := ix.Terms()
+	qs := make([][]string, n)
+	for i := range qs {
+		q := make([]string, 1+rng.Intn(4))
+		for j := range q {
+			q[j] = terms[rng.Intn(len(terms))]
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// TestPrunedEquivalenceExhaustive pins the rank-identity guarantee: for
+// every pruning mode, block size, and k, the pruned top-k equals the
+// exhaustive top-k exactly — same documents, same order, bitwise-equal
+// scores (survivor scores are recomputed in term order; see pruneSlack).
+func TestPrunedEquivalenceExhaustive(t *testing.T) {
+	for _, bs := range []int{0, 8, 64} {
+		opts := index.DefaultOptions()
+		opts.BlockSize = bs
+		ix := pruneCorpus(11, opts)
+		s := NewScorer(FromIndex(ix))
+		rng := rand.New(rand.NewSource(12))
+		queries := pruneQueries(rng, ix, 150)
+		for _, mode := range []Pruning{PruneMaxScore, PruneBlockMax} {
+			for _, k := range []int{1, 3, 10, 100} {
+				for qi, q := range queries {
+					want, _ := EvaluateOR(ix, s, q, k)
+					got, _ := EvaluateTopK(ix, s, q, k, mode)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("bs=%d mode=%d k=%d query %d %v:\nexhaustive %v\npruned     %v",
+							bs, mode, k, qi, q, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedEquivalenceNonDefaultScorer exercises the analytic-bound
+// fallback: a scorer with non-default BM25 parameters (and with global
+// statistics whose average document length differs from the build-time
+// one) invalidates the quantized block bounds, so pruning must bound
+// blocks from maxTF/minLen and still match the exhaustive ranking.
+func TestPrunedEquivalenceNonDefaultScorer(t *testing.T) {
+	ix := pruneCorpus(13, index.DefaultOptions())
+	rng := rand.New(rand.NewSource(14))
+	queries := pruneQueries(rng, ix, 100)
+	st := FromIndex(ix)
+	st.AvgDocLen *= 1.5 // simulates global stats differing from local
+	scorers := []*Scorer{
+		{K1: 0.9, B: 0.4, Stats: FromIndex(ix)},
+		{K1: index.DefaultBM25K1, B: index.DefaultBM25B, Stats: st},
+	}
+	for si, s := range scorers {
+		for _, mode := range []Pruning{PruneMaxScore, PruneBlockMax} {
+			for _, q := range queries {
+				want, _ := EvaluateOR(ix, s, q, 10)
+				got, _ := EvaluateTopK(ix, s, q, 10, mode)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("scorer %d mode=%d query %v:\nexhaustive %v\npruned     %v",
+						si, mode, q, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedEquivalenceWithCache runs the same equivalence through a
+// posting-list cache provider: cached encoded blocks must not change the
+// ranking, and repeated evaluation must hit the cache.
+func TestPrunedEquivalenceWithCache(t *testing.T) {
+	ix := pruneCorpus(15, index.DefaultOptions())
+	s := NewScorer(FromIndex(ix))
+	rng := rand.New(rand.NewSource(16))
+	queries := pruneQueries(rng, ix, 80)
+	pc := index.NewPostingsCache(1 << 22)
+	hits := 0
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			cp := pc.Bind(ix)
+			want, _ := EvaluateORFrom(ix, ix, s, q, 10)
+			got, _ := EvaluateTopKFrom(cp, ix, s, q, 10, PruneBlockMax)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("query %v: cached pruned differs:\n%v\n%v", q, want, got)
+			}
+			hits += cp.Hits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("pruned evaluation never hit the posting cache")
+	}
+}
+
+// TestPrunedEquivalenceFallbacks: PruneNone and k<=0 route to the
+// exhaustive evaluator; empty, missing-term, and single-term queries
+// behave identically across modes.
+func TestPrunedEquivalenceFallbacks(t *testing.T) {
+	ix := pruneCorpus(17, index.DefaultOptions())
+	s := NewScorer(FromIndex(ix))
+	term := ix.Terms()[0]
+	for _, q := range [][]string{nil, {"absent"}, {term}, {term, term, "absent"}} {
+		want, _ := EvaluateOR(ix, s, q, 10)
+		for _, mode := range []Pruning{PruneNone, PruneMaxScore, PruneBlockMax} {
+			got, _ := EvaluateTopK(ix, s, q, 10, mode)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("mode %d query %v: %v vs %v", mode, q, want, got)
+			}
+		}
+	}
+	if rs, _ := EvaluateTopK(ix, s, []string{term}, 0, PruneBlockMax); len(rs) != 0 {
+		t.Fatalf("k=0 returned %v", rs)
+	}
+}
+
+// TestPrunedDecodesFewerBytes is the point of the whole exercise: on
+// top-10 queries the block-max evaluator must decode strictly fewer
+// posting bytes than the exhaustive one, without changing results.
+func TestPrunedDecodesFewerBytes(t *testing.T) {
+	ix := pruneCorpus(19, index.DefaultOptions())
+	s := NewScorer(FromIndex(ix))
+	rng := rand.New(rand.NewSource(20))
+	var exhaustive, pruned int64
+	for _, q := range pruneQueries(rng, ix, 200) {
+		_, e1 := EvaluateOR(ix, s, q, 10)
+		_, e2 := EvaluateTopK(ix, s, q, 10, PruneBlockMax)
+		exhaustive += e1.BytesDecoded
+		pruned += e2.BytesDecoded
+	}
+	if exhaustive == 0 {
+		t.Fatal("exhaustive evaluation decoded nothing")
+	}
+	if pruned >= exhaustive {
+		t.Fatalf("block-max decoded %d bytes, exhaustive %d — no savings", pruned, exhaustive)
+	}
+	t.Logf("decoded bytes: exhaustive %d, block-max %d (%.1f%%)",
+		exhaustive, pruned, 100*float64(pruned)/float64(exhaustive))
+}

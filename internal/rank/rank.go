@@ -53,9 +53,11 @@ type Scorer struct {
 }
 
 // NewScorer returns a BM25 scorer with the standard parameters
-// (k1 = 1.2, b = 0.75) over the given statistics.
+// (k1 = 1.2, b = 0.75) over the given statistics. These are the same
+// constants the index bakes its quantized block-max metadata against, so
+// a default scorer gets the fast quantized bounds in pruned evaluation.
 func NewScorer(stats StatsSource) *Scorer {
-	return &Scorer{K1: 1.2, B: 0.75, Stats: stats}
+	return &Scorer{K1: index.DefaultBM25K1, B: index.DefaultBM25B, Stats: stats}
 }
 
 // IDF returns the BM25 inverse document frequency of term, floored at a
@@ -84,6 +86,7 @@ type EvalStats struct {
 	PostingsDecoded int   // postings touched
 	ListsAccessed   int   // posting lists opened (disk seeks in the paper's terms)
 	BytesRead       int64 // encoded posting bytes of the lists accessed
+	BytesDecoded    int64 // encoded bytes actually decoded (blocks touched)
 }
 
 // evalCursor pairs a posting iterator with its term's precomputed IDF.
@@ -111,6 +114,11 @@ type evalScratch struct {
 	seen    map[string]bool
 	uniq    []string
 	heap    resultHeap
+	// Pruned-evaluation working set (see prune.go).
+	pcs    []pruneCursor
+	tfs    []int32
+	order  []int
+	prefix []float64
 }
 
 var evalPool = sync.Pool{New: func() interface{} {
@@ -223,6 +231,9 @@ func EvaluateORFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []str
 		tk.offer(Result{Doc: ix.ExtID(minDoc), Score: score})
 		heads = heads[:w]
 	}
+	for i := range cursors {
+		es.BytesDecoded += cursors[i].it.BytesDecoded()
+	}
 	sc.heap = tk.rs[:0]
 	return tk.results(), es
 }
@@ -261,6 +272,9 @@ func EvaluateANDFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []st
 	driver := cursors[0]
 	tk := &topK{k: k, rs: sc.heap[:0]}
 	finish := func() []Result {
+		for i := range cursors {
+			es.BytesDecoded += cursors[i].it.BytesDecoded()
+		}
 		sc.heap = tk.rs[:0]
 		return tk.results()
 	}
