@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// workTol is the allowed relative drift of deterministic work counters
+// (decoded bytes, postings, partitions contacted/skipped, waves) between
+// a fresh run and the committed artifact. These counters are seeded and
+// replay exactly, so the band only absorbs float formatting; any real
+// drift means the evaluator or scheduler changed behavior without the
+// artifact being regenerated.
+const workTol = 0.01
+
+// runBenchCheck re-runs the -pruning and -threshold scenarios with the
+// configurations recorded in their committed BENCH_<scenario>.json
+// artifacts under dir, and fails (nonzero exit via error) when a fresh
+// run drifts: deterministic work counters beyond workTol, wall-clock
+// speedup ratios beyond tol, or any ranking no longer rank-identical.
+// This is the CI closing of the loop — a perf regression or a silent
+// behavior change must update the artifact in the same commit.
+func runBenchCheck(w io.Writer, dir string, tol float64) error {
+	var violations []string
+	checked := 0
+
+	if base, err := loadBench[pruningReport](dir, "pruning"); err == nil {
+		fmt.Fprintf(w, "check pruning: re-running committed config %+v\n", base.Config)
+		fresh, err := pruningBench(w, pruningOptions{
+			seed: base.Config.Seed, docs: base.Config.Docs, queries: base.Config.Queries,
+		})
+		if err != nil {
+			return err
+		}
+		violations = append(violations, diffPruning(base, fresh, tol)...)
+		checked++
+		fmt.Fprintln(w)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	if base, err := loadBench[thresholdReport](dir, "threshold"); err == nil {
+		fmt.Fprintf(w, "check threshold: re-running committed config %+v\n", base.Config)
+		fresh, err := thresholdBench(w, thresholdOptions{
+			seed: base.Config.Seed, docs: base.Config.Docs,
+			queries: base.Config.Queries, parts: base.Config.Partitions,
+		})
+		if err != nil {
+			return err
+		}
+		violations = append(violations, diffThreshold(base, fresh, tol)...)
+		checked++
+		fmt.Fprintln(w)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	if checked == 0 {
+		return fmt.Errorf("no BENCH_pruning.json or BENCH_threshold.json baseline under %q", dir)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(w, "FAIL %s\n", v)
+		}
+		return fmt.Errorf("%d drift violation(s) against committed baselines", len(violations))
+	}
+	fmt.Fprintf(w, "check ok: %d scenario(s) match their committed baselines (work within %.0f%%, speedups within %.0f%%)\n",
+		checked, 100*workTol, 100*tol)
+	return nil
+}
+
+// loadBench parses dir/BENCH_<scenario>.json into the report type.
+func loadBench[T any](dir, scenario string) (T, error) {
+	var rep T
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_"+scenario+".json"))
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("BENCH_%s.json: %w", scenario, err)
+	}
+	return rep, nil
+}
+
+// drifted reports whether fresh has moved more than tol relative to
+// base. A zero base only matches a zero fresh value.
+func drifted(base, fresh, tol float64) bool {
+	if base == 0 {
+		return fresh != 0
+	}
+	return math.Abs(fresh-base)/math.Abs(base) > tol
+}
+
+func diffPruning(base, fresh pruningReport, tol float64) []string {
+	var out []string
+	if len(base.Runs) != len(fresh.Runs) {
+		return []string{fmt.Sprintf("pruning: %d baseline rows vs %d fresh rows", len(base.Runs), len(fresh.Runs))}
+	}
+	for i, b := range base.Runs {
+		f := fresh.Runs[i]
+		id := fmt.Sprintf("pruning %s k=%d", b.Mode, b.K)
+		if b.Mode != f.Mode || b.K != f.K {
+			out = append(out, fmt.Sprintf("%s: fresh row is %s k=%d", id, f.Mode, f.K))
+			continue
+		}
+		if !f.RankIdentical {
+			out = append(out, id+": fresh run no longer rank-identical")
+		}
+		for _, c := range []struct {
+			name        string
+			base, fresh float64
+		}{
+			{"bytes_decoded_per_query", b.BytesDecodedPerQuery, f.BytesDecodedPerQuery},
+			{"postings_per_query", b.PostingsPerQuery, f.PostingsPerQuery},
+		} {
+			if drifted(c.base, c.fresh, workTol) {
+				out = append(out, fmt.Sprintf("%s: %s %.1f vs baseline %.1f (work counters must replay)", id, c.name, c.fresh, c.base))
+			}
+		}
+		if drifted(b.SpeedupVsExhaustive, f.SpeedupVsExhaustive, tol) {
+			out = append(out, fmt.Sprintf("%s: speedup_vs_exhaustive %.2f vs baseline %.2f (tol %.0f%%)",
+				id, f.SpeedupVsExhaustive, b.SpeedupVsExhaustive, 100*tol))
+		}
+	}
+	return out
+}
+
+func diffThreshold(base, fresh thresholdReport, tol float64) []string {
+	var out []string
+	if len(base.Runs) != len(fresh.Runs) {
+		return []string{fmt.Sprintf("threshold: %d baseline rows vs %d fresh rows", len(base.Runs), len(fresh.Runs))}
+	}
+	for i, b := range base.Runs {
+		f := fresh.Runs[i]
+		id := fmt.Sprintf("threshold %s k=%d", b.Mode, b.K)
+		if b.Mode != f.Mode || b.K != f.K {
+			out = append(out, fmt.Sprintf("%s: fresh row is %s k=%d", id, f.Mode, f.K))
+			continue
+		}
+		if !f.RankIdentical {
+			out = append(out, id+": fresh run no longer rank-identical")
+		}
+		for _, c := range []struct {
+			name        string
+			base, fresh float64
+		}{
+			{"bytes_decoded_per_query", b.BytesDecodedPerQuery, f.BytesDecodedPerQuery},
+			{"postings_per_query", b.PostingsPerQuery, f.PostingsPerQuery},
+			{"contacted_per_query", b.ContactedPerQuery, f.ContactedPerQuery},
+			{"skipped_per_query", b.SkippedPerQuery, f.SkippedPerQuery},
+			{"waves_per_query", b.WavesPerQuery, f.WavesPerQuery},
+			{"bytes_vs_blockmax", b.BytesVsBlockmax, f.BytesVsBlockmax},
+		} {
+			if drifted(c.base, c.fresh, workTol) {
+				out = append(out, fmt.Sprintf("%s: %s %.2f vs baseline %.2f (work counters must replay)", id, c.name, c.fresh, c.base))
+			}
+		}
+		if drifted(b.SpeedupVsBlockmax, f.SpeedupVsBlockmax, tol) {
+			out = append(out, fmt.Sprintf("%s: speedup_vs_blockmax %.2f vs baseline %.2f (tol %.0f%%)",
+				id, f.SpeedupVsBlockmax, b.SpeedupVsBlockmax, 100*tol))
+		}
+	}
+	return out
+}

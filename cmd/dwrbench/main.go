@@ -9,11 +9,14 @@
 //	dwrbench -faults    # run the fault-injection scenario suite
 //	dwrbench -serve     # run the serving front-end capacity sweep
 //	dwrbench -pruning   # exhaustive vs MaxScore vs Block-Max top-k comparison
+//	dwrbench -threshold # single-wave scatter vs threshold-sharing waves
+//	dwrbench -check     # re-run scenarios against committed BENCH_*.json baselines
 //
-// The -serve and -pruning scenarios also write machine-readable
-// BENCH_<scenario>.json artifacts under -benchdir so the perf
-// trajectory is tracked across commits instead of eyeballed from
-// captured terminal output.
+// The -serve, -pruning, and -threshold scenarios also write
+// machine-readable BENCH_<scenario>.json artifacts under -benchdir so
+// the perf trajectory is tracked across commits instead of eyeballed
+// from captured terminal output; -check closes the loop by failing when
+// a fresh run drifts from the committed artifacts.
 package main
 
 import (
@@ -46,6 +49,13 @@ func main() {
 	pruneSeed := flag.Int64("pruneseed", 42, "corpus and query seed for -pruning")
 	pruneDocs := flag.Int("prunedocs", 8000, "corpus size in documents for -pruning")
 	pruneQueries := flag.Int("prunequeries", 400, "query count for -pruning")
+	threshold := flag.Bool("threshold", false, "run the distributed threshold-sharing comparison: single-wave scatter vs bound-ordered waves seeded with the broker's running k-th score, verifying rank-identical results while measuring QPS, latency quantiles, decoded posting bytes, skipped partitions, and waves")
+	thresholdSeed := flag.Int64("thresholdseed", 42, "corpus and query seed for -threshold")
+	thresholdDocs := flag.Int("thresholddocs", 24000, "corpus size in documents for -threshold")
+	thresholdQueries := flag.Int("thresholdqueries", 200, "query count for -threshold")
+	thresholdParts := flag.Int("thresholdparts", 8, "document partitions for -threshold")
+	check := flag.Bool("check", false, "re-run the -pruning and -threshold scenarios against their committed BENCH_<scenario>.json baselines in -benchdir: deterministic work counters must match within 1%, speedups within -checktol, and every ranking must stay rank-identical (nonzero exit on violation)")
+	checkTol := flag.Float64("checktol", 0.35, "allowed relative drift of wall-clock speedup ratios for -check (work counters are always held to 1%)")
 	benchDir := flag.String("benchdir", "docs", "directory for machine-readable BENCH_<scenario>.json artifacts (empty = don't write)")
 	flag.Parse()
 	var defaults []qproc.Option
@@ -88,6 +98,23 @@ func main() {
 	if *pruning {
 		opts := pruningOptions{seed: *pruneSeed, docs: *pruneDocs, queries: *pruneQueries, dir: *benchDir}
 		if err := runPruningBench(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *threshold {
+		opts := thresholdOptions{seed: *thresholdSeed, docs: *thresholdDocs, queries: *thresholdQueries, parts: *thresholdParts, dir: *benchDir}
+		if err := runThresholdBench(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *check {
+		if err := runBenchCheck(os.Stdout, *benchDir, *checkTol); err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -55,6 +55,13 @@ type pruningReport struct {
 // answer before its numbers are reported. Timing varies run to run;
 // rankings and decode counts do not.
 func runPruningBench(w io.Writer, o pruningOptions) error {
+	_, err := pruningBench(w, o)
+	return err
+}
+
+// pruningBench is runPruningBench returning the measured report, so
+// -check can diff a fresh run against the committed artifact.
+func pruningBench(w io.Writer, o pruningOptions) (pruningReport, error) {
 	rng := randx.New(o.seed)
 	z := randx.NewZipf(3000, 1.0)
 	b := index.NewBuilder(index.DefaultOptions())
@@ -106,7 +113,7 @@ func runPruningBench(w io.Writer, o pruningOptions) error {
 		for _, m := range modes {
 			run, err := measurePruning(ix, s, queries, want, k, m.name, m.mode)
 			if err != nil {
-				return err
+				return rep, err
 			}
 			if m.mode == rank.PruneNone {
 				exhaustiveQPS = run.QPS
@@ -123,11 +130,11 @@ func runPruningBench(w io.Writer, o pruningOptions) error {
 	if o.dir != "" {
 		path, err := writeBenchJSON(o.dir, "pruning", rep)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", path)
 	}
-	return nil
+	return rep, nil
 }
 
 // measurePruning times one (mode, k) pass over the query set, checking

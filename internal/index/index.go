@@ -129,6 +129,29 @@ func (ix *Index) postingList(term string) *postingList {
 	return nil
 }
 
+// TermScoreMeta is the resident per-term score-bound summary a broker
+// prunes partitions with: the aggregates of the block-max metadata over
+// the whole list (max tf, min document length) plus the quantized
+// saturation bound and the average document length it assumes. All four
+// live in the dictionary — reading them touches no posting bytes.
+type TermScoreMeta struct {
+	MaxTF    int32   // largest tf in the list
+	MinLen   int32   // shortest document in the list (0 = unknown; bound stays safe)
+	SatBound float64 // max BM25 saturation over the list at default constants (0 = none)
+	QuantAvg float64 // average document length SatBound was computed against
+}
+
+// TermScoreMeta returns term's score-bound summary; ok is false when the
+// term is absent from this partition.
+func (ix *Index) TermScoreMeta(term string) (TermScoreMeta, bool) {
+	i, ok := ix.terms[term]
+	if !ok {
+		return TermScoreMeta{}, false
+	}
+	pl := &ix.termList[i].pl
+	return TermScoreMeta{MaxTF: pl.maxTF, MinLen: pl.minLen, SatBound: pl.satScale, QuantAvg: pl.quantAvg}, true
+}
+
 // EncodedListBytes returns the resident size of term's posting list as
 // the posting-list cache budgets it: encoded data bytes plus per-block
 // metadata overhead. 0 if the term is absent.

@@ -12,12 +12,13 @@ import (
 
 // On-disk index format (little-endian):
 //
-//	magic "DWRIX2\n\x00"                     8 bytes
+//	magic "DWRIX3\n\x00"                     8 bytes
 //	options: compress, positions (2 bytes) + blockSize (uvarint)
 //	numDocs (uvarint), then per doc: ext (uvarint), length (uvarint)
 //	numTerms (uvarint), then per term:
 //	    len(term) (uvarint), term bytes,
 //	    count (uvarint), cf (uvarint),
+//	    maxTF (uvarint), minLen (uvarint),
 //	    satScale (float64 bits, uvarint), quantAvg (float64 bits, uvarint),
 //	    len(data) (uvarint), data bytes,
 //	    numBlocks (uvarint), per block: lastDoc (uvarint), maxTF (uvarint),
@@ -27,10 +28,12 @@ import (
 // The format exists so a deployment can build an index offline, ship the
 // file to query processors, and swap it in — the paper's "halt a part of
 // the index, substitute it and re-initiate". Version 2 replaced the flat
-// skip table with skip-aligned blocks plus block-max metadata; DWRIX1
-// files are rejected (rebuild the index).
+// skip table with skip-aligned blocks plus block-max metadata; version 3
+// added the resident per-term score-bound aggregates (maxTF, minLen)
+// the threshold-sharing broker prunes partitions with. Older DWRIX
+// versions are rejected (rebuild the index).
 
-var persistMagic = [8]byte{'D', 'W', 'R', 'I', 'X', '2', '\n', 0}
+var persistMagic = [8]byte{'D', 'W', 'R', 'I', 'X', '3', '\n', 0}
 
 // WriteFile writes the index to path atomically (write temp + rename).
 func (ix *Index) WriteFile(path string) error {
@@ -142,6 +145,12 @@ func (ix *Index) Write(w io.Writer) error {
 		if err := putUvarint(uint64(e.pl.cf)); err != nil {
 			return err
 		}
+		if err := putUvarint(uint64(e.pl.maxTF)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.pl.minLen)); err != nil {
+			return err
+		}
 		if err := putUvarint(math.Float64bits(e.pl.satScale)); err != nil {
 			return err
 		}
@@ -211,6 +220,9 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
 	if magic != persistMagic {
+		if string(magic[:5]) == "DWRIX" {
+			return nil, fmt.Errorf("index: unsupported index format %q (want %q): rebuild the index", magic[:6], persistMagic[:6])
+		}
 		return nil, fmt.Errorf("index: bad magic %q: not a dwr index file", magic[:])
 	}
 	cr := &crcReader{r: r}
@@ -285,6 +297,14 @@ func Read(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: reading term %d cf: %w", i, err)
 		}
+		maxTF, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d score bounds: %w", i, err)
+		}
+		minLen, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d score bounds: %w", i, err)
+		}
 		satBits, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("index: reading term %d quantization: %w", i, err)
@@ -342,6 +362,7 @@ func Read(r io.Reader) (*Index, error) {
 		ix.terms[term] = i
 		ix.termList[i] = termEntry{term: term, pl: postingList{
 			count: int(count), cf: int64(cf), data: data, blocks: blocks,
+			maxTF: int32(maxTF), minLen: int32(minLen),
 			satScale: math.Float64frombits(satBits),
 			quantAvg: math.Float64frombits(avgBits),
 		}}

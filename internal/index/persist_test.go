@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -57,6 +58,36 @@ func TestPersistRoundTrip(t *testing.T) {
 				t.Fatalf("block %d metadata differs after round trip", bi)
 			}
 		}
+		// The resident score-bound aggregates must survive for every term
+		// (the broker's partition pruning reads them without postings).
+		for _, tm := range ix.Terms() {
+			want, ok1 := ix.TermScoreMeta(tm)
+			have, ok2 := got.TermScoreMeta(tm)
+			if !ok1 || !ok2 || want != have {
+				t.Fatalf("opts %+v term %q: score metadata %+v round-tripped as %+v (ok %v %v)",
+					opts, tm, want, have, ok1, ok2)
+			}
+		}
+	}
+}
+
+// TestPersistRejectsOldVersion: a DWRIX2 (pre score-bound aggregates)
+// file is refused with a rebuild hint rather than misparsed.
+func TestPersistRejectsOldVersion(t *testing.T) {
+	b := NewBuilder(DefaultOptions())
+	b.AddDocument(1, []string{"alpha", "beta"})
+	var buf bytes.Buffer
+	if err := b.Build().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] = '2' // rewrite the version byte of the magic
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("old format version accepted")
+	}
+	if !strings.Contains(err.Error(), "rebuild") {
+		t.Fatalf("version error %q carries no rebuild hint", err)
 	}
 }
 

@@ -80,6 +80,11 @@ type postingList struct {
 	blocks   []blockMeta
 	satScale float64 // dequantization scale: sat = maxQ * satScale / 255
 	quantAvg float64 // average document length the quantized bounds assume
+	// List-wide aggregates of the block metadata (max over maxTF, min
+	// over minLen), kept resident and persisted so a broker can bound a
+	// whole partition's score for a term without opening the list.
+	maxTF  int32
+	minLen int32
 }
 
 // memBytes is the resident size the posting-list cache budgets against:
@@ -201,10 +206,18 @@ func encodePostings(ps []Posting, opts Options, st encodeStats) postingList {
 		pl.blocks = append(pl.blocks, meta)
 	}
 	// Quantize per-block max scores (round-up, so dequantized values stay
-	// upper bounds) against the list's largest saturation value.
+	// upper bounds) against the list's largest saturation value, and fold
+	// the block metadata into the list-wide score-bound aggregates.
+	pl.minLen = math.MaxInt32
 	for i := range pl.blocks {
 		if s := bm25Sat(pl.blocks[i].maxTF, pl.blocks[i].minLen, pl.quantAvg); s > pl.satScale {
 			pl.satScale = s
+		}
+		if pl.blocks[i].maxTF > pl.maxTF {
+			pl.maxTF = pl.blocks[i].maxTF
+		}
+		if pl.blocks[i].minLen < pl.minLen {
+			pl.minLen = pl.blocks[i].minLen
 		}
 	}
 	if pl.satScale > 0 {

@@ -80,6 +80,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{"determinism", "testdata/simweb"},
 		{"determinism-evaluator", "testdata/rank"},
+		{"determinism-waves", "testdata/qproc"},
 		{"determinism-file-allow", "testdata/experiments"},
 		{"deprecated-api", "testdata/qprocuse"},
 		{"deadline-server", "testdata/server"},
@@ -111,7 +112,7 @@ func TestFindingsAreNonEmptyOnFixtures(t *testing.T) {
 	findings, err := LintPatterns(".", []string{
 		"testdata/simweb", "testdata/experiments", "testdata/qprocuse",
 		"testdata/server", "testdata/dwrserve", "testdata/index",
-		"testdata/rank",
+		"testdata/rank", "testdata/qproc",
 	}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,44 @@
+// Fixture: determinism violations in a broker wave scheduler (the
+// directory base name "qproc" is in the deterministic set, covering the
+// threshold-sharing scatter path). A wave schedule is exactly where
+// these bugs creep in: jittering wave launches on the wall clock or
+// ordering equal-bound partitions with the global rand makes the skip
+// decisions — and with them the per-query accounting — replay-dependent.
+// Parse-only — the go tool never builds testdata.
+package qproc
+
+import (
+	"math/rand"
+	"time"
+)
+
+type wave struct {
+	parts  []int
+	bounds []float64
+}
+
+// launchWaves paces the scatter on the real clock, so the number of
+// waves a replay sees depends on machine speed.
+func launchWaves(ws []wave) {
+	deadline := time.Now().Add(time.Millisecond) // want wallclock
+	for range ws {
+		if time.Now().After(deadline) { // want wallclock
+			return
+		}
+	}
+}
+
+// tieOrder breaks equal partition bounds with the process-global source,
+// so which partition a wave skips depends on everything else that has
+// drawn from it.
+func tieOrder(w wave) {
+	rand.Shuffle(len(w.parts), func(i, j int) { // want globalrand
+		w.parts[i], w.parts[j] = w.parts[j], w.parts[i]
+	})
+}
+
+// jitterSeed perturbs the shared threshold with a global draw before
+// seeding the next wave.
+func jitterSeed(thr float64) float64 {
+	return thr * (1 - rand.Float64()*1e-9) // want globalrand
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import "fmt"
+
+// ThresholdCounters tallies what the threshold-sharing broker schedule
+// did: how many queries took the wave path, how many scatter waves they
+// needed, and how the partition fan-out split between evaluated and
+// skipped. Engines accumulate one instance at their serial gather point,
+// so the totals are deterministic for a fixed query stream.
+type ThresholdCounters struct {
+	// Queries counts queries evaluated through the wave scheduler
+	// (cache hits and single-wave queries are not counted).
+	Queries int
+	// Waves counts scatter waves dispatched across those queries.
+	Waves int
+	// PartitionsEvaluated counts partition evaluations actually
+	// dispatched.
+	PartitionsEvaluated int
+	// PartitionsSkipped counts partitions never contacted because their
+	// resident query upper bound could not beat the broker's running
+	// k-th score.
+	PartitionsSkipped int
+	// PostingsDecoded / PostingBytesDecoded aggregate the evaluation
+	// work of the dispatched partitions — the quantities threshold
+	// seeding exists to shrink.
+	PostingsDecoded     int
+	PostingBytesDecoded int64
+}
+
+// Merge folds o into c.
+func (c *ThresholdCounters) Merge(o ThresholdCounters) {
+	c.Queries += o.Queries
+	c.Waves += o.Waves
+	c.PartitionsEvaluated += o.PartitionsEvaluated
+	c.PartitionsSkipped += o.PartitionsSkipped
+	c.PostingsDecoded += o.PostingsDecoded
+	c.PostingBytesDecoded += o.PostingBytesDecoded
+}
+
+// String renders the counters in one report line.
+func (c ThresholdCounters) String() string {
+	return fmt.Sprintf("tsQueries=%d waves=%d partsEval=%d partsSkipped=%d postings=%d bytesDecoded=%d",
+		c.Queries, c.Waves, c.PartitionsEvaluated, c.PartitionsSkipped, c.PostingsDecoded, c.PostingBytesDecoded)
+}

@@ -197,8 +197,11 @@ func DocCacheKey(terms []string, opt DocQueryOptions) string {
 	if opt.Conjunctive {
 		conj = 1
 	}
-	return fmt.Sprintf("%s|k=%d|st=%d|c=%d|sel=%d|pr=%d",
-		NormalizeQueryKey(terms), opt.K, int(opt.Stats), conj, sel, int(opt.Pruning))
+	// Threshold sharing is rank-identical, but it changes which
+	// partitions a degraded answer can be missing, so differently
+	// scheduled evaluations must not collide in the cache.
+	return fmt.Sprintf("%s|k=%d|st=%d|c=%d|sel=%d|pr=%d|ts=%d",
+		NormalizeQueryKey(terms), opt.K, int(opt.Stats), conj, sel, int(opt.Pruning), int(opt.Threshold))
 }
 
 // TermCacheKey is the full result-cache key of a TermEngine query.

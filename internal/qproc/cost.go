@@ -60,8 +60,18 @@ type QueryResult struct {
 	FromCache           bool
 	Stale               bool // answered from cache beyond its freshness TTL
 	Degraded            bool // some selected servers were down; partial answer
-	Retries             int  // partition-call retries the fault policy spent
-	Hedges              int  // hedged backup requests the fault policy fired
+	// PartitionsSkipped counts live partitions the threshold-sharing
+	// scheduler never contacted because their resident score upper bound
+	// could not beat the broker's running k-th score (always 0 on the
+	// single-wave path). Skipped is not lost: a skipped partition
+	// provably holds no global top-k document.
+	PartitionsSkipped int
+	// Waves is the number of evaluation scatter waves the broker
+	// dispatched: 1 for single-wave scatter-gather, possibly more under
+	// threshold sharing, 0 for cache hits and all-down answers.
+	Waves   int
+	Retries int // partition-call retries the fault policy spent
+	Hedges  int // hedged backup requests the fault policy fired
 	// Err is set when the engine could not produce an acceptable answer:
 	// ErrUnavailable under a fail-fast fault policy, ErrAllSitesDown when
 	// a multi-site query found no reachable processor. Inspect with

@@ -2,10 +2,12 @@ package qproc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"dwr/internal/conc"
 	"dwr/internal/index"
+	"dwr/internal/metrics"
 	"dwr/internal/partition"
 	"dwr/internal/rank"
 	"dwr/internal/selection"
@@ -51,6 +53,11 @@ type DocEngine struct {
 	// pruning is the default top-k strategy for disjunctive queries
 	// (WithPruning); DocQueryOptions.Pruning overrides per query.
 	pruning rank.Pruning
+	// threshold enables the bound-ordered wave schedule by default
+	// (WithThresholdSharing); DocQueryOptions.Threshold overrides per
+	// query. tsc accumulates what the scheduler did (guarded by mu).
+	threshold bool
+	tsc       metrics.ThresholdCounters
 	// topkOpts are the per-query options QueryTopK (the uniform Engine
 	// surface) uses; K is overridden per call.
 	topkOpts DocQueryOptions
@@ -103,6 +110,7 @@ func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartitio
 	e.installPostingsCache(eo.plBytes)
 	e.rb = eo.robust(dp.K)
 	e.pruning = eo.pruning
+	e.threshold = eo.threshold
 	if eo.docDefault != nil {
 		e.topkOpts = *eo.docDefault
 	}
@@ -234,6 +242,33 @@ const (
 	LocalOnly
 )
 
+// ThresholdMode selects how the broker schedules the evaluation scatter
+// of one query.
+type ThresholdMode int
+
+const (
+	// ThresholdDefault (the zero value) defers to the engine's
+	// WithThresholdSharing setting: ThresholdShared on an engine
+	// configured with sharing, otherwise single-wave.
+	ThresholdDefault ThresholdMode = iota
+	// ThresholdShared evaluates partitions in waves ordered by their
+	// resident query score upper bound: the first wave runs unseeded,
+	// every later wave is seeded with the broker's running k-th merged
+	// score, and partitions whose bound cannot beat it are skipped
+	// without being contacted. Rank-identical to ThresholdSingleWave.
+	ThresholdShared
+	// ThresholdSingleWave scatters one wave over all target partitions
+	// at threshold 0 — the classic scatter-gather.
+	ThresholdSingleWave
+)
+
+// thresholdFirstWave is the size of the first (unseeded) wave of a
+// shared-threshold schedule; later waves double. Small enough that the
+// highest-bound partitions establish a threshold before the long tail is
+// touched, fixed regardless of worker width so the schedule — and with
+// it every skip decision — is deterministic.
+const thresholdFirstWave = 2
+
 // DocQueryOptions configures one query evaluation.
 type DocQueryOptions struct {
 	K           int
@@ -246,6 +281,11 @@ type DocQueryOptions struct {
 	// default. Rankings are identical across strategies — only the decode
 	// work (and thus PostingBytesDecoded) changes.
 	Pruning rank.Pruning
+	// Threshold selects the scatter schedule for this query;
+	// ThresholdDefault defers to the engine's WithThresholdSharing
+	// default. Conjunctive queries always run a single wave (the AND
+	// evaluator drives by intersection, not by threshold).
+	Threshold ThresholdMode
 	// DeadlineMs, when > 0, is the query's latency budget: it tightens
 	// the fault policy's per-call deadline on every partition call, and
 	// an answer that would still arrive later than the budget is dropped
@@ -270,6 +310,13 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 	}
 	if opt.Pruning == rank.PruneNone {
 		opt.Pruning = e.pruning
+	}
+	// Resolve the engine default before the cache key is computed (same
+	// pattern as Pruning): an engine whose default is single-wave leaves
+	// the zero value in place, so externally computed DocCacheKeys (SDC
+	// warming, log analysis) agree with the engine's own.
+	if opt.Threshold == ThresholdDefault && e.threshold {
+		opt.Threshold = ThresholdShared
 	}
 	var ckey string
 	if e.rcache != nil {
@@ -362,72 +409,152 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 		})
 	}
 
-	// Round 2: scatter the evaluation across the worker pool; the broker
-	// waits for the slowest (the paper: "the response time ... depends
-	// on the response time of its slowest component"). Each worker
-	// writes only its own slot; the gather below aggregates in target
-	// order, so accounting matches the serial broker exactly.
-	evals := make([]partEval, len(targets))
-	conc.Do(len(targets), e.workers, func(i int) {
-		p := targets[i]
-		ix := e.parts[p]
-		// Level 2: serve encoded posting lists from the partition
-		// server's cache when configured. The provider contract keeps
-		// results and accounting byte-identical either way.
-		var pp rank.PostingsProvider = ix
-		if e.pcaches != nil {
-			pp = e.pcaches[p].Bind(ix)
-		}
-		if opt.Conjunctive {
-			evals[i].rs, evals[i].es = rank.EvaluateANDFrom(pp, ix, scorers[i], terms, opt.K)
-		} else {
-			evals[i].rs, evals[i].es = rank.EvaluateTopKFrom(pp, ix, scorers[i], terms, opt.K, opt.Pruning)
-		}
-	})
-	lists := make([][]rank.Result, len(targets))
-	var slowest float64
-	lost := 0
-	e.mu.Lock()
-	for i, p := range targets {
-		es := evals[i].es
-		service := e.cost.ServiceMs(es.PostingsDecoded)
-		if e.rb != nil {
-			// Robust path: the call's fate (retries, hedges, failover,
-			// latency, or loss) is simulated deterministically from the
-			// engine tick. A clean call costs exactly lanMs+service, so
-			// with zero faults injected this path is byte-identical to
-			// the plain one below.
-			cr := e.rb.call(tick, p, e.lanMs, service, opt.DeadlineMs)
-			qr.Retries += cr.retries
-			qr.Hedges += cr.hedges
-			if cr.latencyMs > slowest {
-				slowest = cr.latencyMs
+	// Round 2: scatter the evaluation in waves. The classic single-wave
+	// path is the degenerate schedule — one wave holding every target,
+	// nothing skipped, threshold 0 — so both paths share the scatter and
+	// gather code below. Under ThresholdShared, partitions are visited in
+	// descending resident query-bound order in doubling waves; every wave
+	// after the first is seeded with the broker's running k-th merged
+	// score and partitions whose bound cannot beat it (rank.Competitive)
+	// are skipped without being contacted.
+	shared := opt.Threshold == ThresholdShared && !opt.Conjunctive && len(targets) > 1
+	order := make([]int, len(targets))
+	for i := range order {
+		order[i] = i
+	}
+	var bounds []float64
+	if shared {
+		bounds = make([]float64, len(targets))
+		conc.Do(len(targets), e.workers, func(i int) {
+			bounds[i] = rank.QueryBound(e.parts[targets[i]], scorers[i], terms)
+		})
+		// Descending bound; ties by ascending partition index keep the
+		// schedule deterministic at any worker width.
+		sort.Slice(order, func(a, b int) bool {
+			i, j := order[a], order[b]
+			if bounds[i] != bounds[j] {
+				return bounds[i] > bounds[j]
 			}
-			if !cr.ok {
-				// The partition never answered within budget: its
-				// contribution is lost and its server did no accountable
-				// work for this query.
-				e.rb.lost()
-				lost++
+			return targets[i] < targets[j]
+		})
+	}
+
+	// Each worker writes only its own evals slot; every wave's gather
+	// aggregates serially in schedule order under the engine lock, so
+	// results and accounting are identical to the serial broker.
+	evals := make([]partEval, len(targets))
+	merger := rank.NewTopKMerger(opt.K)
+	var slowest float64 // summed per-wave slowest-call latencies
+	lost, dispatched := 0, 0
+	waveSize := len(targets)
+	if shared {
+		waveSize = thresholdFirstWave
+	}
+	ws := make([]int, 0, waveSize)
+	for next := 0; next < len(order); {
+		seed := 0.0
+		if shared {
+			if t, ok := merger.Threshold(); ok {
+				seed = t
+			}
+		}
+		ws = ws[:0]
+		for next < len(order) && len(ws) < waveSize {
+			i := order[next]
+			next++
+			// A zero bound means no query term occurs in the partition; a
+			// non-competitive bound proves it holds no global top-k
+			// document. Either way the broker never contacts it.
+			if shared && (bounds[i] <= 0 || (seed > 0 && !rank.Competitive(bounds[i], seed))) {
+				qr.PartitionsSkipped++
 				continue
 			}
-			e.busyMs[p] += service
-		} else {
-			e.busyMs[p] += service
-			if t := e.lanMs + service; t > slowest {
-				slowest = t
-			}
+			ws = append(ws, i)
 		}
-		qr.PostingsDecoded += es.PostingsDecoded
-		qr.ListsAccessed += es.ListsAccessed
-		qr.PostingBytesRead += es.BytesRead
-		qr.PostingBytesDecoded += es.BytesDecoded
-		qr.BytesTransferred += resultBytes(len(evals[i].rs))
-		lists[i] = evals[i].rs
+		if len(ws) == 0 {
+			continue
+		}
+		qr.Waves++
+		dispatched += len(ws)
+		waveSeed := seed
+		conc.Do(len(ws), e.workers, func(j int) {
+			i := ws[j]
+			p := targets[i]
+			ix := e.parts[p]
+			// Level 2: serve encoded posting lists from the partition
+			// server's cache when configured. The provider contract keeps
+			// results and accounting byte-identical either way.
+			var pp rank.PostingsProvider = ix
+			if e.pcaches != nil {
+				pp = e.pcaches[p].Bind(ix)
+			}
+			if opt.Conjunctive {
+				evals[i].rs, evals[i].es = rank.EvaluateANDFrom(pp, ix, scorers[i], terms, opt.K)
+			} else {
+				evals[i].rs, evals[i].es = rank.EvaluateTopKSeededFrom(pp, ix, scorers[i], terms, opt.K, opt.Pruning, waveSeed)
+			}
+		})
+		var waveSlowest float64
+		e.mu.Lock()
+		for _, i := range ws {
+			p := targets[i]
+			es := evals[i].es
+			service := e.cost.ServiceMs(es.PostingsDecoded)
+			if e.rb != nil {
+				// Robust path: the call's fate (retries, hedges, failover,
+				// latency, or loss) is simulated deterministically from the
+				// engine tick. A clean call costs exactly lanMs+service, so
+				// with zero faults injected this path is byte-identical to
+				// the plain one below.
+				cr := e.rb.call(tick, p, e.lanMs, service, opt.DeadlineMs)
+				qr.Retries += cr.retries
+				qr.Hedges += cr.hedges
+				if cr.latencyMs > waveSlowest {
+					waveSlowest = cr.latencyMs
+				}
+				if !cr.ok {
+					// The partition never answered within budget: its
+					// contribution is lost and its server did no accountable
+					// work for this query.
+					e.rb.lost()
+					lost++
+					continue
+				}
+				e.busyMs[p] += service
+			} else {
+				e.busyMs[p] += service
+				if t := e.lanMs + service; t > waveSlowest {
+					waveSlowest = t
+				}
+			}
+			qr.PostingsDecoded += es.PostingsDecoded
+			qr.ListsAccessed += es.ListsAccessed
+			qr.PostingBytesRead += es.BytesRead
+			qr.PostingBytesDecoded += es.BytesDecoded
+			qr.BytesTransferred += resultBytes(len(evals[i].rs))
+			merger.Add(evals[i].rs)
+		}
+		e.mu.Unlock()
+		slowest += waveSlowest
+		if shared {
+			waveSize *= 2
+		}
 	}
-	e.mu.Unlock()
-	qr.Results = rank.MergeResults(opt.K, lists...)
-	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval + reply
+	qr.ServersContacted = dispatched
+	qr.Results = merger.Results()
+	qr.LatencyMs = round1Max + slowest + e.lanMs // stats round + eval waves + reply
+	if shared {
+		e.mu.Lock()
+		e.tsc.Merge(metrics.ThresholdCounters{
+			Queries:             1,
+			Waves:               qr.Waves,
+			PartitionsEvaluated: dispatched,
+			PartitionsSkipped:   qr.PartitionsSkipped,
+			PostingsDecoded:     qr.PostingsDecoded,
+			PostingBytesDecoded: qr.PostingBytesDecoded,
+		})
+		e.mu.Unlock()
+	}
 	if lost > 0 || (qr.Degraded && e.rb != nil && e.rb.policy.Mode == FailFast) {
 		if e.rb.policy.Mode == FailFast {
 			qr.Err = fmt.Errorf("%d of %d partitions unavailable: %w", lost, len(targets), ErrUnavailable)

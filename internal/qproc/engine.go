@@ -40,6 +40,9 @@ type EngineStats struct {
 	// Faults are the robustness counters (zero value when no fault
 	// options were configured).
 	Faults metrics.FaultCounters
+	// Threshold are the wave-scheduler counters of queries evaluated
+	// with threshold sharing (zero value when never used).
+	Threshold metrics.ThresholdCounters
 	// ResultCache reflects the broker-level result cache (zero value
 	// when disabled).
 	ResultCache CacheStats
@@ -76,7 +79,7 @@ func (e *DocEngine) QueryTopK(terms []string, k int) QueryResult {
 // Stats implements Engine.
 func (e *DocEngine) Stats() EngineStats {
 	e.mu.Lock()
-	st := EngineStats{Queries: e.queries, Degraded: e.degraded, Failed: e.failed}
+	st := EngineStats{Queries: e.queries, Degraded: e.degraded, Failed: e.failed, Threshold: e.tsc}
 	if e.rb != nil {
 		st.Faults = e.rb.snapshot()
 		st.Latency = e.rb.hist
@@ -182,6 +185,7 @@ func (m *MultiSite) Stats() EngineStats {
 		st.Degraded += es.Degraded
 		st.Failed += es.Failed
 		st.Faults.Merge(es.Faults)
+		st.Threshold.Merge(es.Threshold)
 		st.ResultCache.Hits += es.ResultCache.Hits
 		st.ResultCache.Misses += es.ResultCache.Misses
 		st.ResultCache.StaleGen += es.ResultCache.StaleGen

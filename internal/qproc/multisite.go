@@ -299,9 +299,13 @@ func (m *MultiSite) Submit(terms []string, key string, region int, atHours float
 	out.Results = qr.Results
 	out.ServersContacted = qr.ServersContacted
 	out.PostingsDecoded = qr.PostingsDecoded
+	out.ListsAccessed = qr.ListsAccessed
 	out.PostingBytesRead = qr.PostingBytesRead
+	out.PostingBytesDecoded = qr.PostingBytesDecoded
 	out.BytesTransferred = qr.BytesTransferred
 	out.Degraded = qr.Degraded
+	out.PartitionsSkipped = qr.PartitionsSkipped
+	out.Waves = qr.Waves
 	out.Retries += qr.Retries
 	out.Hedges += qr.Hedges
 	out.LatencyMs += qr.LatencyMs + out.QueueMs

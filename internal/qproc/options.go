@@ -30,6 +30,7 @@ type engineOptions struct {
 	injector   *faultsim.Injector
 	docDefault *DocQueryOptions
 	pruning    rank.Pruning
+	threshold  bool
 }
 
 // WithWorkers sets the engine's fan-out width: partition evaluations
@@ -94,6 +95,23 @@ func WithPostingsCache(bytesPerServer int64) Option {
 // document-at-a-time path (TermEngine) ignore it.
 func WithPruning(mode rank.Pruning) Option {
 	return func(o *engineOptions) { o.pruning = mode }
+}
+
+// WithThresholdSharing makes threshold sharing the DocEngine's default
+// for disjunctive queries: instead of one scatter wave over all
+// partitions at threshold 0, the broker orders partitions by their
+// resident query score upper bound, evaluates them in growing waves,
+// seeds every wave after the first with its running k-th merged score,
+// and skips partitions whose upper bound proves they hold no global
+// top-k document. Results are rank-identical to single-wave evaluation
+// (see rank.EvaluateTopKSeededFrom for the safety argument); only the
+// work — partitions contacted, blocks decoded — shrinks. Per-query
+// DocQueryOptions.Threshold overrides the default; engines without a
+// bound-ordered scatter (TermEngine, and MultiSite's site level) ignore
+// the option, though MultiSite site engines configured with it use it
+// for the per-site fan-out.
+func WithThresholdSharing(on bool) Option {
+	return func(o *engineOptions) { o.threshold = on }
 }
 
 // WithFaultPolicy activates the robustness policy on the engine's

@@ -1,0 +1,47 @@
+package rank
+
+import "dwr/internal/index"
+
+// TermUpperBound bounds the score contribution of one term for every
+// document in the partition summarized by m, from resident metadata
+// alone (no posting bytes are touched). Two bounds are available:
+//
+//   - The analytic bound Term(maxTF, minLen, idf): Scorer.Term is
+//     monotone increasing in tf and decreasing in docLen, so the list's
+//     largest tf scored at its shortest document dominates every real
+//     posting under any BM25 parameterization.
+//   - The quantized bound idf·SatBound, valid when the scorer uses the
+//     default constants and its average document length is at most the
+//     one the bounds were quantized against: BM25 saturation is monotone
+//     increasing in the average (a larger avg shrinks the length norm),
+//     so a bound computed at QuantAvg stays an upper bound for any
+//     smaller scorer average.
+//
+// The tighter (smaller) of the valid bounds is returned.
+func (s *Scorer) TermUpperBound(idf float64, m index.TermScoreMeta) float64 {
+	ub := s.Term(m.MaxTF, int(m.MinLen), idf)
+	if s.K1 == index.DefaultBM25K1 && s.B == index.DefaultBM25B &&
+		s.Stats.AvgDocLen <= m.QuantAvg && m.SatBound > 0 {
+		if q := idf * m.SatBound; q < ub {
+			ub = q
+		}
+	}
+	return ub
+}
+
+// QueryBound bounds the disjunctive score of any single document in ix
+// for the query terms, using only the resident per-term metadata — the
+// broker-side estimate a threshold-sharing scheduler orders and skips
+// partitions by. Terms absent from the partition contribute nothing; a
+// bound of 0 therefore means no query term occurs in the partition.
+func QueryBound(ix *index.Index, s *Scorer, terms []string) float64 {
+	sum := 0.0
+	for _, t := range dedup(terms) {
+		m, ok := ix.TermScoreMeta(t)
+		if !ok {
+			continue
+		}
+		sum += s.TermUpperBound(s.IDF(t), m)
+	}
+	return sum
+}

@@ -72,19 +72,58 @@ func (c *pruneCursor) listUB(s *Scorer) float64 {
 	return ub
 }
 
+// Competitive reports whether a score upper bound can still beat a
+// running top-k threshold under the evaluators' documented pruneSlack
+// tolerance. Brokers use it to decide whether a partition (bounded by
+// its query upper bound) can contribute to the global top k at all.
+func Competitive(bound, threshold float64) bool {
+	return bound >= threshold-pruneSlack*math.Abs(threshold)
+}
+
 // EvaluateTopK scores the disjunction of the query terms over ix and
 // returns the top k results by score, using the selected dynamic-pruning
 // strategy. Results are rank-identical to EvaluateOR (see pruneSlack for
 // the tolerance argument); only the work done differs.
 func EvaluateTopK(ix *index.Index, s *Scorer, terms []string, k int, mode Pruning) ([]Result, EvalStats) {
-	return EvaluateTopKFrom(ix, ix, s, terms, k, mode)
+	return EvaluateTopKSeededFrom(ix, ix, s, terms, k, mode, 0)
 }
 
 // EvaluateTopKFrom is EvaluateTopK over a PostingsProvider; see
 // EvaluateORFrom for the provider contract.
 func EvaluateTopKFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []string, k int, mode Pruning) ([]Result, EvalStats) {
+	return EvaluateTopKSeededFrom(pp, ix, s, terms, k, mode, 0)
+}
+
+// EvaluateTopKSeeded is EvaluateTopK started from a seed threshold; see
+// EvaluateTopKSeededFrom.
+func EvaluateTopKSeeded(ix *index.Index, s *Scorer, terms []string, k int, mode Pruning, seed float64) ([]Result, EvalStats) {
+	return EvaluateTopKSeededFrom(ix, ix, s, terms, k, mode, seed)
+}
+
+// EvaluateTopKSeededFrom is EvaluateTopKFrom with the pruning threshold
+// seeded at seed instead of -Inf (seed <= 0 means unseeded; BM25 scores
+// are strictly positive). The caller must guarantee seed is a true lower
+// bound on the global k-th best score — a distributed broker's running
+// k-th merged score qualifies. Safety: the evaluator only abandons
+// documents whose score upper bound is below threshold×(1−pruneSlack),
+// so a document scoring exactly seed still survives (its bound is ≥ seed
+// > seed−slack) and every pruned document scores strictly below the
+// global k-th — it could never enter the global top k. Documents this
+// partition does return keep scores bitwise-identical to exhaustive
+// evaluation; the list may hold fewer than k entries when the partition
+// has fewer than k seed-beating documents, which a merging broker by
+// construction never misses.
+func EvaluateTopKSeededFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []string, k int, mode Pruning, seed float64) ([]Result, EvalStats) {
 	if mode == PruneNone || k <= 0 {
-		return EvaluateORFrom(pp, ix, s, terms, k)
+		rs, es := EvaluateORFrom(pp, ix, s, terms, k)
+		if len(rs) >= k && k > 0 {
+			es.FinalThreshold = rs[k-1].Score
+		}
+		return rs, es
+	}
+	seedThr := math.Inf(-1)
+	if seed > 0 {
+		seedThr = seed - pruneSlack*seed
 	}
 	var es EvalStats
 	sc := evalPool.Get().(*evalScratch)
@@ -109,11 +148,20 @@ func EvaluateTopKFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []s
 		for i := range cursors {
 			es.BytesDecoded += cursors[i].it.BytesDecoded()
 		}
+		if seed > 0 {
+			es.FinalThreshold = seed
+		}
+		if len(tk.rs) >= k && tk.rs[0].Score > es.FinalThreshold {
+			es.FinalThreshold = tk.rs[0].Score
+		}
 		sc.heap = tk.rs[:0]
 		return tk.results(), es
 	}
 	tk := &topK{k: k, rs: sc.heap[:0]}
 	if len(cursors) == 0 {
+		if seed > 0 {
+			es.FinalThreshold = seed
+		}
 		return nil, es
 	}
 	for i := range cursors {
@@ -158,10 +206,15 @@ func EvaluateTopKFrom(pp PostingsProvider, ix *index.Index, s *Scorer, terms []s
 
 	m := 0 // cursors order[:m] are non-essential
 	for {
-		thr := math.Inf(-1)
+		// The threshold is the tighter of the heap floor and the caller's
+		// seed, both widened by pruneSlack (the heap floor overtakes the
+		// seed once k locally-found documents beat it).
+		thr := seedThr
 		if len(tk.rs) >= k {
 			t := tk.rs[0].Score
-			thr = t - pruneSlack*math.Abs(t)
+			if ht := t - pruneSlack*math.Abs(t); ht > thr {
+				thr = ht
+			}
 		}
 		for m < len(order) && prefix[m] < thr {
 			m++

@@ -87,6 +87,12 @@ type EvalStats struct {
 	ListsAccessed   int   // posting lists opened (disk seeks in the paper's terms)
 	BytesRead       int64 // encoded posting bytes of the lists accessed
 	BytesDecoded    int64 // encoded bytes actually decoded (blocks touched)
+	// FinalThreshold is the score floor the evaluation ended with: the
+	// k-th best score found, or the seed threshold it was started from if
+	// nothing beat that. 0 when the evaluation held fewer than k results
+	// and was unseeded. A broker can feed it forward as the seed of later
+	// partition evaluations (see EvaluateTopKSeeded).
+	FinalThreshold float64
 }
 
 // evalCursor pairs a posting iterator with its term's precomputed IDF.
@@ -396,6 +402,40 @@ func MergeResults(k int, lists ...[]Result) []Result {
 	}
 	return tk.results()
 }
+
+// TopKMerger is an incremental MergeResults for brokers that gather
+// partition answers in waves: results are offered as they arrive and the
+// running k-th best score is readable between waves as a threshold seed.
+// Because topK.offer implements a total order (score desc, doc asc) and
+// document partitions are disjoint, the final Results are identical to a
+// single MergeResults over all lists regardless of Add order.
+type TopKMerger struct {
+	tk topK
+}
+
+// NewTopKMerger returns a merger keeping the k best results.
+func NewTopKMerger(k int) *TopKMerger { return &TopKMerger{tk: topK{k: k}} }
+
+// Add offers one partition's result list to the merge.
+func (m *TopKMerger) Add(rs []Result) {
+	for _, r := range rs {
+		m.tk.offer(r)
+	}
+}
+
+// Threshold returns the current k-th best score. ok is false until k
+// results have been merged — before that there is no safe lower bound on
+// the global k-th score.
+func (m *TopKMerger) Threshold() (float64, bool) {
+	if m.tk.k <= 0 || len(m.tk.rs) < m.tk.k {
+		return 0, false
+	}
+	return m.tk.rs[0].Score, true
+}
+
+// Results returns the merged top k (score desc, doc asc). The merger
+// remains usable afterwards.
+func (m *TopKMerger) Results() []Result { return m.tk.results() }
 
 // MergeResultsDedup merges result lists that may contain the SAME
 // document (replicas of one collection), keeping each document's best
