@@ -91,7 +91,7 @@ func buildWith(docs []index.Doc, opts index.Options) *index.Index {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 // BenchmarkAblationCompression compares index build + size with and
@@ -258,7 +258,7 @@ func BenchmarkIndexBuilders(b *testing.B) {
 			for _, d := range docs {
 				sb.AddDocument(d.Ext, d.Terms)
 			}
-			sb.Build()
+			index.MustBuild(sb)
 		}
 	})
 	b.Run("spimi", func(b *testing.B) {

@@ -59,8 +59,24 @@ func runBenchCheck(w io.Writer, dir string, tol float64) error {
 		return err
 	}
 
+	if base, err := loadBench[freshReport](dir, "fresh"); err == nil {
+		fmt.Fprintf(w, "check fresh: re-running committed config %+v\n", base.Config)
+		fresh, err := freshBench(w, freshOptions{
+			seed: base.Config.Seed, hosts: base.Config.Hosts, parts: base.Config.Parts,
+			segDocs: base.Config.SegDocs, rate: base.Config.RateQPS,
+		})
+		if err != nil {
+			return err
+		}
+		violations = append(violations, diffFresh(base, fresh)...)
+		checked++
+		fmt.Fprintln(w)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
 	if checked == 0 {
-		return fmt.Errorf("no BENCH_pruning.json or BENCH_threshold.json baseline under %q", dir)
+		return fmt.Errorf("no BENCH_pruning.json, BENCH_threshold.json, or BENCH_fresh.json baseline under %q", dir)
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {
@@ -124,6 +140,40 @@ func diffPruning(base, fresh pruningReport, tol float64) []string {
 		if drifted(b.SpeedupVsExhaustive, f.SpeedupVsExhaustive, tol) {
 			out = append(out, fmt.Sprintf("%s: speedup_vs_exhaustive %.2f vs baseline %.2f (tol %.0f%%)",
 				id, f.SpeedupVsExhaustive, b.SpeedupVsExhaustive, 100*tol))
+		}
+	}
+	return out
+}
+
+// diffFresh holds every -fresh metric except wall-clock time to
+// workTol: the scenario runs entirely on virtual time, so the crawl,
+// the seal points, the merge cascades, and the query schedule replay
+// exactly — any drift is a behavior change.
+func diffFresh(base, fresh freshReport) []string {
+	var out []string
+	if !fresh.ReplayIdentical {
+		out = append(out, "fresh: two replays of the pipeline no longer answer identically")
+	}
+	for _, c := range []struct {
+		name        string
+		base, fresh float64
+	}{
+		{"pages_crawled", float64(base.Pages), float64(fresh.Pages)},
+		{"docs_indexed", float64(base.DocsIndexed), float64(fresh.DocsIndexed)},
+		{"segments_sealed", float64(base.SegmentsSealed), float64(fresh.SegmentsSealed)},
+		{"merges", float64(base.Merges), float64(fresh.Merges)},
+		{"final_segments", float64(base.FinalSegments), float64(fresh.FinalSegments)},
+		{"manifest_swaps", base.ManifestSwaps, fresh.ManifestSwaps},
+		{"queries_served", float64(base.QueriesServed), float64(fresh.QueriesServed)},
+		{"crawl_virtual_s", base.CrawlVirtualS, fresh.CrawlVirtualS},
+		{"fresh_p50_s", base.FreshP50S, fresh.FreshP50S},
+		{"fresh_p99_s", base.FreshP99S, fresh.FreshP99S},
+		{"serve_p50_ms", base.ServeP50Ms, fresh.ServeP50Ms},
+		{"serve_p99_ms", base.ServeP99Ms, fresh.ServeP99Ms},
+		{"cache_hit_ratio", base.CacheHitRatio, fresh.CacheHitRatio},
+	} {
+		if drifted(c.base, c.fresh, workTol) {
+			out = append(out, fmt.Sprintf("fresh: %s %.3f vs baseline %.3f (virtual-time metrics must replay)", c.name, c.fresh, c.base))
 		}
 	}
 	return out

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"dwr/internal/crawler"
+	"dwr/internal/index"
+	"dwr/internal/loadgen"
+	"dwr/internal/metrics"
+	"dwr/internal/qproc"
+	"dwr/internal/querylog"
+	"dwr/internal/simweb"
+	"dwr/internal/textproc"
+)
+
+// freshOptions sizes the continuous-indexing scenario.
+type freshOptions struct {
+	seed    int64
+	hosts   int
+	parts   int
+	segDocs int
+	rate    float64 // query arrivals per virtual second during the crawl
+	dir     string  // BENCH_fresh.json destination ("" = don't write)
+}
+
+// freshReport is the full BENCH_fresh.json document. Everything in it
+// except WallMs is deterministic for a fixed config: the crawl order,
+// the query schedule, segment seal points, and merge cascades all run
+// on virtual time.
+type freshReport struct {
+	Scenario string `json:"scenario"`
+	Config   struct {
+		Seed    int64   `json:"seed"`
+		Hosts   int     `json:"hosts"`
+		Parts   int     `json:"parts"`
+		SegDocs int     `json:"seg_docs"`
+		RateQPS float64 `json:"rate_qps"`
+	} `json:"config"`
+	Pages           int     `json:"pages_crawled"`
+	DocsIndexed     int     `json:"docs_indexed"`
+	SegmentsSealed  int     `json:"segments_sealed"`
+	Merges          int     `json:"merges"`
+	FinalSegments   int     `json:"final_segments"`
+	ManifestSwaps   float64 `json:"manifest_swaps"`
+	CrawlVirtualS   float64 `json:"crawl_virtual_s"`
+	QueriesServed   int     `json:"queries_served"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	FreshP50S       float64 `json:"fresh_p50_s"`
+	FreshP99S       float64 `json:"fresh_p99_s"`
+	FreshMaxS       float64 `json:"fresh_max_s"`
+	ServeP50Ms      float64 `json:"serve_p50_ms"`
+	ServeP99Ms      float64 `json:"serve_p99_ms"`
+	ReplayIdentical bool    `json:"replay_identical"`
+	WallMs          float64 `json:"wall_ms"`
+}
+
+// freshMetrics is one replay's measurement, plus the fingerprint of
+// every served answer for the two-replay identity check.
+type freshMetrics struct {
+	pages, docsIndexed, sealed, merges, finalSegments int
+	swaps                                             uint64
+	crawlVirtualS                                     float64
+	queriesServed                                     int
+	cacheHitRatio                                     float64
+	freshP50, freshP99, freshMax                      float64
+	serveP50, serveP99                                float64
+	fingerprint                                       uint64
+}
+
+// runFreshBench runs the crawl→index→serve pipeline end to end: crawler
+// agents stream fetched pages into per-partition segment writers while
+// a LiveEngine answers loadgen traffic over the same stores, all on one
+// virtual clock. The scenario reports freshness lag — the virtual
+// seconds between a page's download and the atomic manifest swap that
+// makes it searchable — alongside serving latency quantiles, then runs
+// the whole pipeline a second time and verifies the two replays served
+// byte-identical answers.
+func runFreshBench(w io.Writer, o freshOptions) error {
+	_, err := freshBench(w, o)
+	return err
+}
+
+// freshBench is runFreshBench returning the measured report, so -check
+// can diff a fresh run against the committed artifact.
+func freshBench(w io.Writer, o freshOptions) (freshReport, error) {
+	fmt.Fprintf(w, "continuous indexing: crawl + index + serve on one virtual clock\n")
+	fmt.Fprintf(w, "%d hosts, %d partitions, %d-doc segments, %.1f queries/virtual-second, seed %d\n\n",
+		o.hosts, o.parts, o.segDocs, o.rate, o.seed)
+
+	t0 := time.Now()
+	m1 := freshReplay(o)
+	m2 := freshReplay(o)
+	wallMs := float64(time.Since(t0).Microseconds()) / 1000
+
+	rep := freshReport{Scenario: "fresh"}
+	rep.Config.Seed = o.seed
+	rep.Config.Hosts = o.hosts
+	rep.Config.Parts = o.parts
+	rep.Config.SegDocs = o.segDocs
+	rep.Config.RateQPS = o.rate
+	rep.Pages = m1.pages
+	rep.DocsIndexed = m1.docsIndexed
+	rep.SegmentsSealed = m1.sealed
+	rep.Merges = m1.merges
+	rep.FinalSegments = m1.finalSegments
+	rep.ManifestSwaps = float64(m1.swaps)
+	rep.CrawlVirtualS = m1.crawlVirtualS
+	rep.QueriesServed = m1.queriesServed
+	rep.CacheHitRatio = m1.cacheHitRatio
+	rep.FreshP50S = m1.freshP50
+	rep.FreshP99S = m1.freshP99
+	rep.FreshMaxS = m1.freshMax
+	rep.ServeP50Ms = m1.serveP50
+	rep.ServeP99Ms = m1.serveP99
+	rep.ReplayIdentical = m1 == m2 // fingerprint and every counter
+	rep.WallMs = wallMs
+
+	fmt.Fprintf(w, "crawl:   %d pages in %.0f virtual s; %d docs indexed into %d partitions\n",
+		rep.Pages, rep.CrawlVirtualS, rep.DocsIndexed, o.parts)
+	fmt.Fprintf(w, "index:   %d segments sealed, %d merges, %d final segments, %.0f manifest swaps\n",
+		rep.SegmentsSealed, rep.Merges, rep.FinalSegments, rep.ManifestSwaps)
+	fmt.Fprintf(w, "fresh:   crawl→searchable lag p50 %.1fs  p99 %.1fs  max %.1fs\n",
+		rep.FreshP50S, rep.FreshP99S, rep.FreshMaxS)
+	fmt.Fprintf(w, "serve:   %d queries, latency p50 %.3fms  p99 %.3fms, cache hit ratio %.2f\n",
+		rep.QueriesServed, rep.ServeP50Ms, rep.ServeP99Ms, rep.CacheHitRatio)
+	if rep.ReplayIdentical {
+		fmt.Fprintf(w, "replay:  second run byte-identical (every answer and counter)\n")
+	} else {
+		fmt.Fprintf(w, "replay:  FAILED — second run diverged\n")
+	}
+
+	if o.dir != "" {
+		path, err := writeBenchJSON(o.dir, "fresh", rep)
+		if err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if !rep.ReplayIdentical {
+		return rep, fmt.Errorf("fresh: two replays of seed %d diverged", o.seed)
+	}
+	return rep, nil
+}
+
+// freshReplay runs one full crawl→index→serve pass and measures it.
+func freshReplay(o freshOptions) freshMetrics {
+	wcfg := simweb.DefaultConfig()
+	wcfg.Hosts = o.hosts
+	wcfg.Seed = o.seed
+	web := simweb.New(wcfg)
+	lg := querylog.Generate(web, querylog.DefaultConfig())
+	arrivals := loadgen.Open(lg, loadgen.OpenConfig{
+		Seed: o.seed, Rate: o.rate, N: 20000, K: 10,
+	}).Init()
+
+	// One segment store per partition; a writer streams crawled pages
+	// into each. Merges run inline: deterministic scheduling is what
+	// makes the two-replay identity check meaningful (dwrserve -live is
+	// the wall-clock mode with background merges).
+	stores := make([]*index.SegmentStore, o.parts)
+	writers := make([]*index.SegmentWriter, o.parts)
+	for i := range stores {
+		stores[i] = index.NewSegmentStore(index.DefaultOptions(), index.MergePolicy{Radix: 3})
+		writers[i] = index.NewSegmentWriter(stores[i], o.segDocs)
+	}
+	eng, err := qproc.NewLiveEngine(stores, qproc.WithResultCache(qproc.ResultCacheConfig{
+		Capacity: 512, Shards: 8,
+	}))
+	if err != nil {
+		panic(err) // len(stores) > 0 by construction
+	}
+
+	type pendingDoc struct {
+		ext, part int
+		fetchedAt float64
+	}
+	var (
+		m       freshMetrics
+		pending []pendingDoc
+		lag     metrics.Sample
+		serveMs metrics.Sample
+		clock   float64
+		ai      int // next arrival index
+		fp      = fnv.New64a()
+	)
+	serveDue := func() {
+		for ai < len(arrivals) && arrivals[ai].At <= clock {
+			qr := eng.Query(arrivals[ai].Req.Terms, arrivals[ai].Req.K)
+			serveMs.Add(qr.LatencyMs)
+			m.queriesServed++
+			fmt.Fprintf(fp, "%v|%v|", qr.FromCache, qr.LatencyMs)
+			for _, r := range qr.Results {
+				fmt.Fprintf(fp, "%d:%v ", r.Doc, r.Score)
+			}
+			ai++
+		}
+	}
+	drainSearchable := func() {
+		kept := pending[:0]
+		for _, p := range pending {
+			if stores[p.part].Manifest().Contains(p.ext) {
+				lag.Add(clock - p.fetchedAt)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		pending = kept
+	}
+
+	ccfg := crawler.DefaultConfig()
+	ccfg.Seed = o.seed
+	c := crawler.New(web, ccfg)
+	var seeds []string
+	for _, h := range web.Hosts {
+		if len(h.Pages) > 0 {
+			seeds = append(seeds, web.URL(h.Pages[0]))
+		}
+	}
+	c.Seed(seeds)
+	c.OnPage(func(p *crawler.Page) {
+		if p.FetchedAt > clock {
+			clock = p.FetchedAt
+		}
+		serveDue()
+		doc := textproc.ParseHTML(p.HTML)
+		terms := textproc.Tokenize(doc.Text)
+		if len(terms) == 0 {
+			return
+		}
+		part := p.PageID % o.parts
+		if err := writers[part].AddDocument(p.PageID, terms); err != nil {
+			return // refetch of an already-indexed page
+		}
+		pending = append(pending, pendingDoc{ext: p.PageID, part: part, fetchedAt: clock})
+		drainSearchable()
+	})
+	st := c.Run()
+	m.pages = st.DistinctPages
+	if st.VirtualSeconds > clock {
+		clock = st.VirtualSeconds
+	}
+	serveDue()
+
+	// End of crawl: seal every partial buffer so the tail of the crawl
+	// becomes searchable, then serve a settle-phase against the complete
+	// index (the next 200 scheduled arrivals, clock following them).
+	for _, w := range writers {
+		if err := w.Cut(); err != nil {
+			panic(err)
+		}
+	}
+	drainSearchable()
+	for tail := 0; tail < 200 && ai < len(arrivals); tail++ {
+		clock = arrivals[ai].At
+		serveDue()
+	}
+
+	m.docsIndexed = eng.NumDocs()
+	for _, s := range stores {
+		ss := s.Stats()
+		m.sealed += ss.Applied
+		m.merges += ss.Merges
+		m.finalSegments += ss.Segments
+		m.swaps += ss.Gen
+	}
+	m.crawlVirtualS = st.VirtualSeconds
+	m.cacheHitRatio = eng.Stats().ResultCache.HitRatio()
+	m.freshP50 = lag.Quantile(0.5)
+	m.freshP99 = lag.Quantile(0.99)
+	m.freshMax = lag.Quantile(1)
+	m.serveP50 = serveMs.Quantile(0.5)
+	m.serveP99 = serveMs.Quantile(0.99)
+	m.fingerprint = fp.Sum64()
+	return m
+}

@@ -10,9 +10,10 @@
 //	dwrbench -serve     # run the serving front-end capacity sweep
 //	dwrbench -pruning   # exhaustive vs MaxScore vs Block-Max top-k comparison
 //	dwrbench -threshold # single-wave scatter vs threshold-sharing waves
+//	dwrbench -fresh     # continuous indexing: crawl + index + serve on one virtual clock
 //	dwrbench -check     # re-run scenarios against committed BENCH_*.json baselines
 //
-// The -serve, -pruning, and -threshold scenarios also write
+// The -serve, -pruning, -threshold, and -fresh scenarios also write
 // machine-readable BENCH_<scenario>.json artifacts under -benchdir so
 // the perf trajectory is tracked across commits instead of eyeballed
 // from captured terminal output; -check closes the loop by failing when
@@ -54,7 +55,13 @@ func main() {
 	thresholdDocs := flag.Int("thresholddocs", 24000, "corpus size in documents for -threshold")
 	thresholdQueries := flag.Int("thresholdqueries", 200, "query count for -threshold")
 	thresholdParts := flag.Int("thresholdparts", 8, "document partitions for -threshold")
-	check := flag.Bool("check", false, "re-run the -pruning and -threshold scenarios against their committed BENCH_<scenario>.json baselines in -benchdir: deterministic work counters must match within 1%, speedups within -checktol, and every ranking must stay rank-identical (nonzero exit on violation)")
+	fresh := flag.Bool("fresh", false, "run the continuous-indexing scenario: crawler agents stream pages into per-partition segment writers while a live engine serves loadgen traffic over the same stores, reporting crawl→searchable freshness lag and serving latency; the whole pipeline is replayed twice and must answer byte-identically")
+	freshSeed := flag.Int64("freshseed", 42, "web, crawl, and workload seed for -fresh")
+	freshHosts := flag.Int("freshhosts", 100, "simulated web hosts for -fresh")
+	freshParts := flag.Int("freshparts", 4, "index partitions (segment stores) for -fresh")
+	freshSegDocs := flag.Int("freshsegdocs", 32, "documents per sealed segment for -fresh")
+	freshRate := flag.Float64("freshrate", 2.0, "query arrivals per virtual second for -fresh")
+	check := flag.Bool("check", false, "re-run the -pruning, -threshold, and -fresh scenarios against their committed BENCH_<scenario>.json baselines in -benchdir: deterministic work counters must match within 1%, speedups within -checktol, and every ranking must stay rank-identical (nonzero exit on violation)")
 	checkTol := flag.Float64("checktol", 0.35, "allowed relative drift of wall-clock speedup ratios for -check (work counters are always held to 1%)")
 	benchDir := flag.String("benchdir", "docs", "directory for machine-readable BENCH_<scenario>.json artifacts (empty = don't write)")
 	flag.Parse()
@@ -107,6 +114,16 @@ func main() {
 	if *threshold {
 		opts := thresholdOptions{seed: *thresholdSeed, docs: *thresholdDocs, queries: *thresholdQueries, parts: *thresholdParts, dir: *benchDir}
 		if err := runThresholdBench(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fresh {
+		opts := freshOptions{seed: *freshSeed, hosts: *freshHosts, parts: *freshParts,
+			segDocs: *freshSegDocs, rate: *freshRate, dir: *benchDir}
+		if err := runFreshBench(os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(1)
 		}

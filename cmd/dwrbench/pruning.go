@@ -72,7 +72,7 @@ func pruningBench(w io.Writer, o pruningOptions) (pruningReport, error) {
 		}
 		b.AddDocument(d, terms)
 	}
-	ix := b.Build()
+	ix := index.MustBuild(b)
 	s := rank.NewScorer(rank.FromIndex(ix))
 	queries := make([][]string, o.queries)
 	for i := range queries {

@@ -9,6 +9,15 @@
 //
 //	dwrserve                      # serve on :8080 with defaults
 //	dwrserve -addr :9090 -c 150 -deadline 100 -shedtarget 50
+//	dwrserve -live                # serve WHILE crawling and indexing
+//
+// With -live the index is not built up front: the server comes up over
+// empty per-partition segment stores and a crawl streams pages into
+// segment writers while queries are being answered. Sealed segments
+// become searchable through atomic manifest swaps, segment merges run
+// on a bounded background pool, and the broker result cache is
+// invalidated by the stores' change hooks — crawling, merging, and
+// serving proceed simultaneously.
 //
 // Endpoints:
 //
@@ -23,9 +32,13 @@ import (
 	"net/http"
 	"os"
 
+	"dwr/internal/conc"
 	"dwr/internal/core"
+	"dwr/internal/crawler"
+	"dwr/internal/index"
 	"dwr/internal/qproc"
 	"dwr/internal/server"
+	"dwr/internal/simweb"
 	"dwr/internal/textproc"
 )
 
@@ -43,7 +56,25 @@ func main() {
 	partitions := flag.Int("partitions", 4, "query processors")
 	workers := flag.Int("workers", 0, "engine scatter-gather fan-out (0 = GOMAXPROCS); distinct from -c, the front-end pool")
 	cacheCap := flag.Int("cachecap", 0, "broker result-cache capacity in entries (0 = off)")
+	live := flag.Bool("live", false, "serve while crawling: stream crawled pages into per-partition segment writers and answer queries over atomically swapped segment manifests, with merges on a background pool")
+	segDocs := flag.Int("segdocs", 128, "documents per sealed segment for -live")
+	mergeWorkers := flag.Int("mergeworkers", 2, "background merge pool width for -live")
 	flag.Parse()
+
+	if *live {
+		if err := runLive(liveOptions{
+			addr: *addr, c: *c, queueCap: *queueCap, deadline: *deadline,
+			admitRate: *admitRate, admitBurst: *admitBurst,
+			shedTarget: *shedTarget, shedWindow: *shedWindow,
+			seed: *seed, hosts: *hosts, partitions: *partitions,
+			workers: *workers, cacheCap: *cacheCap,
+			segDocs: *segDocs, mergeWorkers: *mergeWorkers,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	qproc.SetDefaultOptions(qproc.WithWorkers(*workers))
 	cfg := core.DefaultConfig()
@@ -80,4 +111,100 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dwrserve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// liveOptions carries the -live configuration.
+type liveOptions struct {
+	addr                  string
+	c, queueCap           int
+	deadline              float64
+	admitRate, admitBurst float64
+	shedTarget            float64
+	shedWindow            int
+	seed                  int64
+	hosts, partitions     int
+	workers, cacheCap     int
+	segDocs, mergeWorkers int
+}
+
+// runLive brings the HTTP front-end up over empty segment stores and
+// lets a crawl fill them while queries are served: the continuous
+// crawl-index-serve pipeline on wall-clock time. The crawl goroutine is
+// the single writer (segment writers are single-producer); queries read
+// immutable manifest snapshots, so they never block on ingest or on the
+// background merges.
+func runLive(o liveOptions) error {
+	wcfg := simweb.DefaultConfig()
+	wcfg.Seed = o.seed
+	wcfg.Hosts = o.hosts
+	web := simweb.New(wcfg)
+
+	pool := conc.NewPool(o.mergeWorkers)
+	stores := make([]*index.SegmentStore, o.partitions)
+	writers := make([]*index.SegmentWriter, o.partitions)
+	for i := range stores {
+		stores[i] = index.NewSegmentStore(index.DefaultOptions(), index.MergePolicy{Radix: 3})
+		stores[i].Background(pool)
+		writers[i] = index.NewSegmentWriter(stores[i], o.segDocs)
+	}
+	opts := []qproc.Option{qproc.WithWorkers(o.workers)}
+	if o.cacheCap > 0 {
+		opts = append(opts, qproc.WithResultCache(qproc.ResultCacheConfig{Capacity: o.cacheCap}))
+	}
+	eng, err := qproc.NewLiveEngine(stores, opts...)
+	if err != nil {
+		return err
+	}
+
+	go func() {
+		ccfg := crawler.DefaultConfig()
+		ccfg.Seed = o.seed
+		cr := crawler.New(web, ccfg)
+		var seeds []string
+		for _, h := range web.Hosts {
+			if len(h.Pages) > 0 {
+				seeds = append(seeds, web.URL(h.Pages[0]))
+			}
+		}
+		cr.Seed(seeds)
+		indexed := 0
+		cr.OnPage(func(p *crawler.Page) {
+			doc := textproc.ParseHTML(p.HTML)
+			terms := textproc.Tokenize(doc.Text)
+			if len(terms) == 0 {
+				return
+			}
+			if err := writers[p.PageID%o.partitions].AddDocument(p.PageID, terms); err != nil {
+				return // refetch of an already-indexed page
+			}
+			indexed++
+		})
+		st := cr.Run()
+		for _, w := range writers {
+			if err := w.Cut(); err != nil {
+				fmt.Fprintf(os.Stderr, "dwrserve: sealing final segment: %v\n", err)
+			}
+		}
+		for _, s := range stores {
+			s.Quiesce()
+		}
+		fmt.Printf("dwrserve: crawl finished — %d pages fetched, %d docs searchable\n",
+			st.DistinctPages, indexed)
+	}()
+
+	f := server.NewFrontend(eng, server.Config{
+		Workers:    o.c,
+		QueueCap:   o.queueCap,
+		DeadlineMs: o.deadline,
+		AdmitRate:  o.admitRate,
+		AdmitBurst: o.admitBurst,
+		Shed:       server.ShedConfig{TargetP99Ms: o.shedTarget, Window: o.shedWindow},
+		Seed:       o.seed,
+	})
+	f.Tokenize = textproc.Tokenize
+	f.Resolve = web.URL
+
+	fmt.Printf("dwrserve: serving LIVE on %s (c=%d workers, %d partitions filling as the crawl runs)\n",
+		o.addr, o.c, o.partitions)
+	return http.ListenAndServe(o.addr, f.Handler())
 }

@@ -6,9 +6,13 @@ import (
 	"testing"
 
 	"dwr/internal/core"
+	"dwr/internal/crawler"
+	"dwr/internal/index"
 	"dwr/internal/metrics"
 	"dwr/internal/qproc"
 	"dwr/internal/querylog"
+	"dwr/internal/simweb"
+	"dwr/internal/textproc"
 )
 
 // TestEndToEndDeterminism is the regression test behind dwrlint's
@@ -63,5 +67,97 @@ func TestEndToEndDeterminism(t *testing.T) {
 	}
 	if firstFaults.FaultsSeen == 0 {
 		t.Fatal("fault injector never engaged; the scenario is not exercising the robust path")
+	}
+}
+
+// TestStreamingPipelineDeterminism is the continuous-indexing analogue
+// of TestEndToEndDeterminism: a crawl streams pages through OnPage into
+// per-partition segment writers while a LiveEngine answers queries
+// interleaved with the ingest (one query per 20 pages, mid-stream, so
+// answers depend on exactly which manifests had been swapped in when).
+// Two identically seeded replays must serve byte-identical answers and
+// identical segment-maintenance counters.
+func TestStreamingPipelineDeterminism(t *testing.T) {
+	const parts = 3
+	run := func() ([]string, []index.SegmentStats) {
+		wcfg := simweb.DefaultConfig()
+		wcfg.Hosts = 40
+		web := simweb.New(wcfg)
+		lcfg := querylog.DefaultConfig()
+		lcfg.Seed = wcfg.Seed + 5
+		lcfg.Total = 200
+		lcfg.Distinct = 60
+		lg := querylog.Generate(web, lcfg)
+
+		stores := make([]*index.SegmentStore, parts)
+		writers := make([]*index.SegmentWriter, parts)
+		for i := range stores {
+			stores[i] = index.NewSegmentStore(index.DefaultOptions(), index.MergePolicy{Radix: 3})
+			writers[i] = index.NewSegmentWriter(stores[i], 24)
+		}
+		eng, err := qproc.NewLiveEngine(stores,
+			qproc.WithResultCache(qproc.ResultCacheConfig{Capacity: 64}))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var answers []string
+		pages, qi := 0, 0
+		c := crawler.New(web, crawler.DefaultConfig())
+		var seeds []string
+		for _, h := range web.Hosts {
+			if len(h.Pages) > 0 {
+				seeds = append(seeds, web.URL(h.Pages[0]))
+			}
+		}
+		c.Seed(seeds)
+		c.OnPage(func(p *crawler.Page) {
+			terms := textproc.Tokenize(textproc.ParseHTML(p.HTML).Text)
+			if len(terms) == 0 {
+				return
+			}
+			if err := writers[p.PageID%parts].AddDocument(p.PageID, terms); err != nil {
+				return // refetch
+			}
+			pages++
+			if pages%20 == 0 {
+				q := lg.Queries[qi%len(lg.Queries)]
+				answers = append(answers, fmt.Sprintf("%+v", eng.Query(q.Terms, 10)))
+				qi++
+			}
+		})
+		c.Run()
+		for _, w := range writers {
+			if err := w.Cut(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range lg.Queries[:50] {
+			answers = append(answers, fmt.Sprintf("%+v", eng.Query(q.Terms, 10)))
+		}
+		stats := make([]index.SegmentStats, parts)
+		for i, s := range stores {
+			stats[i] = s.Stats()
+		}
+		return answers, stats
+	}
+
+	first, firstStats := run()
+	second, secondStats := run()
+	if len(first) != len(second) {
+		t.Fatalf("replays served different query counts: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("streamed answer %d diverged between identically seeded runs:\nfirst:  %s\nsecond: %s",
+				i, first[i], second[i])
+		}
+	}
+	if !reflect.DeepEqual(firstStats, secondStats) {
+		t.Fatalf("segment maintenance diverged between identically seeded runs:\nfirst:  %+v\nsecond: %+v",
+			firstStats, secondStats)
+	}
+	if firstStats[0].Merges == 0 {
+		t.Fatal("no merges ran; the scenario is not exercising the cascade")
 	}
 }

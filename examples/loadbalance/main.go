@@ -50,7 +50,7 @@ func main() {
 	for _, d := range docs {
 		central.AddDocument(d.Ext, d.Terms)
 	}
-	cIx := central.Build()
+	cIx := index.MustBuild(central)
 
 	const k = 8
 	replay := func(name string, busy []float64) {

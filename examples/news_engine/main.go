@@ -45,8 +45,8 @@ func main() {
 		published++
 		if published%200 == 0 {
 			m := dyn.Maintenance()
-			fmt.Printf("published %d articles: %d segments, %d merges, %.1fms total write-lock\n",
-				published, m.Segments, m.Merges, m.LockHeldMs)
+			fmt.Printf("published %d articles: %d segments, %d merges, %d manifest swaps (readers never blocked)\n",
+				published, m.Segments, m.Merges, m.Swaps)
 		}
 	}
 

@@ -353,9 +353,14 @@ func (e *Engine) trainQueryDriven(rng *rand.Rand) (partition.CoClusterResult, []
 
 	b := index.NewBuilder(e.Config.Index)
 	for _, d := range e.Docs {
-		b.AddDocument(d.Ext, d.Terms)
+		if err := b.AddDocument(d.Ext, d.Terms); err != nil {
+			return partition.CoClusterResult{}, nil, err
+		}
 	}
-	central := b.Build()
+	central, err := b.Build()
+	if err != nil {
+		return partition.CoClusterResult{}, nil, err
+	}
 	scorer := rank.NewScorer(rank.FromIndex(central))
 
 	seen := make(map[string]bool)

@@ -272,6 +272,10 @@ func (a *agent) handleFetched(url string, res simweb.FetchResult, at float64) {
 		c.collected[pid] = &Page{
 			URL: url, PageID: pid, Agent: a.id,
 			HTML: res.HTML, Day: c.cfg.Day, LastMod: res.LastModified,
+			FetchedAt: at,
+		}
+		if c.onPage != nil {
+			c.onPage(c.collected[pid])
 		}
 	}
 

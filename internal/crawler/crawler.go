@@ -124,6 +124,10 @@ type Page struct {
 	HTML    string
 	Day     int
 	LastMod int
+	// FetchedAt is the fetching agent's virtual clock (seconds) when the
+	// download completed — the timestamp freshness lag is measured from
+	// in the streaming crawl→index pipeline.
+	FetchedAt float64
 }
 
 // Crawler coordinates a set of agents over a simulated Web.
@@ -142,7 +146,18 @@ type Crawler struct {
 	// priorityHints boosts seed URLs known to be important (e.g. from a
 	// previous crawl's citation counts).
 	priorityHints map[string]float64
+	// onPage, when set, streams every successful download (including
+	// refetches) to the indexing pipeline the moment it happens, in
+	// deterministic crawl order.
+	onPage func(*Page)
 }
+
+// OnPage registers a callback invoked synchronously for every
+// successful page download, in the crawler's deterministic fetch order.
+// This is the streaming hook that lets indexing run while the crawl is
+// still in progress; the callback must not retain p.HTML beyond the
+// call if it wants to keep memory bounded. Set before Run.
+func (c *Crawler) OnPage(fn func(p *Page)) { c.onPage = fn }
 
 // assigner abstracts the two assignment policies plus membership change.
 type assigner interface {

@@ -176,7 +176,7 @@ func Claim8CollectionSelection() *Result {
 	// CORI and random operate over the same query-driven partition so
 	// only the selector differs.
 	var stats []index.Stats
-	perPart := make(map[int]*index.Builder)
+	perPart := make(map[int]*index.MemBuilder)
 	for p := 0; p < k; p++ {
 		perPart[p] = index.NewBuilder(index.DefaultOptions())
 	}
@@ -186,7 +186,7 @@ func Claim8CollectionSelection() *Result {
 		}
 	}
 	for p := 0; p < k; p++ {
-		stats = append(stats, perPart[p].Build().LocalStats(nil))
+		stats = append(stats, index.MustBuild(perPart[p]).LocalStats(nil))
 	}
 	cori := selection.NewCORI(stats)
 	rnd := selection.NewRandom(randx.New(10), k)
@@ -325,14 +325,14 @@ func Claim14IndexBuild() *Result {
 		for _, d := range f.docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		return b.Build()
+		return index.MustBuild(b)
 	})
 	sortIx, sortMs := timeIt(func() *index.Index {
 		b := index.NewSortBuilder(opts)
 		for _, d := range f.docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		return b.Build()
+		return index.MustBuild(b)
 	})
 	spimiIx, spimiMs := timeIt(func() *index.Index {
 		b, err := index.NewSPIMIBuilder(opts, 1<<20, "")
@@ -364,6 +364,16 @@ func Claim14IndexBuild() *Result {
 		}
 		return ix
 	})
+	segIx, segMs := timeIt(func() *index.Index {
+		store := index.NewSegmentStore(opts, index.MergePolicy{Radix: 3})
+		w := index.NewSegmentWriter(store, 256)
+		for _, d := range f.docs {
+			if err := w.AddDocument(d.Ext, d.Terms); err != nil {
+				panic(err)
+			}
+		}
+		return index.MustBuild(w)
+	})
 
 	t := metrics.NewTable("construction strategies (identical output verified)",
 		"strategy", "build ms", "identical to reference")
@@ -372,6 +382,7 @@ func Claim14IndexBuild() *Result {
 	t.AddRow("single-pass + spill (Lester)", spimiMs, index.Equal(ref, spimiIx))
 	t.AddRow("map-reduce 8×4 (Dean)", mrMs, index.Equal(ref, mrIx))
 	t.AddRow("pipelined ×4 (Melink)", plMs, index.Equal(ref, plIx))
+	t.AddRow("streaming LSM segments", segMs, index.Equal(ref, segIx))
 	r.Tables = append(r.Tables, t)
 
 	// Layout ablation: compression and positions.
@@ -392,13 +403,13 @@ func Claim14IndexBuild() *Result {
 		for _, d := range f.docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		ix := b.Build()
+		ix := index.MustBuild(b)
 		sizes.AddRow(row.name, ix.SizeBytes(), float64(ix.SizeBytes())/float64(totalPostings))
 	}
 	r.Tables = append(r.Tables, sizes)
 	r.Values = map[string]float64{
 		"all_equal": boolTo01(index.Equal(ref, sortIx) && index.Equal(ref, spimiIx) &&
-			index.Equal(ref, mrIx) && index.Equal(ref, plIx)),
+			index.Equal(ref, mrIx) && index.Equal(ref, plIx) && index.Equal(ref, segIx)),
 		"docs": float64(ref.NumDocs()),
 	}
 	return r

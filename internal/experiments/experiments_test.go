@@ -281,8 +281,12 @@ func TestClaim15Shape(t *testing.T) {
 	if r.Values["doc_lock_servers"] != 1 {
 		t.Fatalf("document-partitioned update locks %v servers, want 1", r.Values["doc_lock_servers"])
 	}
-	if r.Values["small_lock_ms"] <= 0 || r.Values["large_lock_ms"] <= 0 {
-		t.Fatal("no write-lock time recorded; maintenance not exercised")
+	if r.Values["small_swaps"] <= 0 || r.Values["large_swaps"] <= 0 {
+		t.Fatal("no manifest swaps recorded; maintenance not exercised")
+	}
+	if r.Values["small_swaps"] <= r.Values["large_swaps"] {
+		t.Fatalf("small buffer published %v swaps, large %v; smaller buffers must seal more often",
+			r.Values["small_swaps"], r.Values["large_swaps"])
 	}
 }
 

@@ -58,7 +58,7 @@ func sharedFixture() *fixture {
 		for _, d := range docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		central := b.Build()
+		central := index.MustBuild(b)
 
 		lcfg := querylog.DefaultConfig()
 		lcfg.Distinct = 1500

@@ -15,13 +15,13 @@ func allBuilderIndexes(t *testing.T, docs []Doc, opts Options) map[string]*Index
 	for _, d := range docs {
 		ref.AddDocument(d.Ext, d.Terms)
 	}
-	out["builder"] = ref.Build()
+	out["builder"] = MustBuild(ref)
 
 	sb := NewSortBuilder(opts)
 	for _, d := range docs {
 		sb.AddDocument(d.Ext, d.Terms)
 	}
-	out["sort"] = sb.Build()
+	out["sort"] = MustBuild(sb)
 
 	sp, err := NewSPIMIBuilder(opts, 16<<10, t.TempDir())
 	if err != nil {
@@ -85,16 +85,16 @@ func TestMergePartitions(t *testing.T) {
 	for _, d := range docs {
 		ref.AddDocument(d.Ext, d.Terms)
 	}
-	refIx := ref.Build()
+	refIx := MustBuild(ref)
 
 	// Partition docs modulo 3 and merge.
-	builders := []*Builder{NewBuilder(opts), NewBuilder(opts), NewBuilder(opts)}
+	builders := []*MemBuilder{NewBuilder(opts), NewBuilder(opts), NewBuilder(opts)}
 	for i, d := range docs {
 		builders[i%3].AddDocument(d.Ext, d.Terms)
 	}
 	parts := make([]*Index, 3)
 	for i, b := range builders {
-		parts[i] = b.Build()
+		parts[i] = MustBuild(b)
 	}
 	merged, err := Merge(opts, parts...)
 	if err != nil {
@@ -111,7 +111,7 @@ func TestMergeRejectsDuplicateDocs(t *testing.T) {
 	a.AddDocument(1, []string{"x"})
 	b := NewBuilder(opts)
 	b.AddDocument(1, []string{"y"})
-	if _, err := Merge(opts, a.Build(), b.Build()); err == nil {
+	if _, err := Merge(opts, MustBuild(a), MustBuild(b)); err == nil {
 		t.Fatal("Merge accepted overlapping document sets")
 	}
 }

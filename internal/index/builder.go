@@ -7,11 +7,50 @@ import (
 	"dwr/internal/conc"
 )
 
-// Builder constructs an Index incrementally in memory: the vanilla
+// Builder is the uniform index-construction surface: every strategy in
+// the package — the in-memory reference inverter (MemBuilder), the
+// sort-based builder (SortBuilder), single-pass spill-run indexing
+// (SPIMIBuilder), the streaming segment pipeline (SegmentWriter), and
+// the online-maintained index's flush path (Dynamic) — feeds tokenized
+// documents in and hands one immutable Index back. Callers that only
+// construct (cmd/*, examples, fixtures) program against this interface
+// and swap strategies without touching the call sites.
+type Builder interface {
+	// AddDocument indexes one tokenized document under external ID ext.
+	// Duplicate IDs are rejected with an error: the indexing pipeline
+	// deduplicates upstream, so a duplicate here is a bug.
+	AddDocument(ext int, terms []string) error
+	// NumDocs returns how many documents have been added so far.
+	NumDocs() int
+	// Build finalizes construction and returns the immutable index.
+	Build() (*Index, error)
+}
+
+// Interface conformance, checked at compile time.
+var (
+	_ Builder = (*MemBuilder)(nil)
+	_ Builder = (*SortBuilder)(nil)
+	_ Builder = (*SPIMIBuilder)(nil)
+	_ Builder = (*SegmentWriter)(nil)
+	_ Builder = (*Dynamic)(nil)
+)
+
+// MustBuild drives b to completion and panics on error — the
+// construction helper for fixtures, examples, and tests, where a build
+// error is a bug in the caller rather than a runtime condition.
+func MustBuild(b Builder) *Index {
+	ix, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("index: build failed: %v", err))
+	}
+	return ix
+}
+
+// MemBuilder constructs an Index incrementally in memory: the vanilla
 // inverter that keeps a growing posting buffer per term. It is the
 // reference implementation the other construction strategies are checked
 // against.
-type Builder struct {
+type MemBuilder struct {
 	opts    Options
 	posting map[string][]Posting
 	docs    []docEntry
@@ -20,20 +59,19 @@ type Builder struct {
 }
 
 // NewBuilder creates an in-memory builder with the given layout options.
-func NewBuilder(opts Options) *Builder {
-	return &Builder{
+func NewBuilder(opts Options) *MemBuilder {
+	return &MemBuilder{
 		opts:    opts,
 		posting: make(map[string][]Posting),
 		byExt:   make(map[int]int),
 	}
 }
 
-// AddDocument indexes one tokenized document under external ID ext.
-// Adding the same external ID twice panics: the indexing pipeline
-// deduplicates upstream, so a duplicate here is a bug.
-func (b *Builder) AddDocument(ext int, terms []string) {
+// AddDocument indexes one tokenized document under external ID ext,
+// rejecting duplicate IDs.
+func (b *MemBuilder) AddDocument(ext int, terms []string) error {
 	if _, dup := b.byExt[ext]; dup {
-		panic(fmt.Sprintf("index: duplicate document %d", ext))
+		return fmt.Errorf("index: duplicate document %d", ext)
 	}
 	doc := int32(len(b.docs))
 	b.byExt[ext] = int(doc)
@@ -52,6 +90,7 @@ func (b *Builder) AddDocument(ext int, terms []string) {
 		}
 		b.posting[t] = append(b.posting[t], p)
 	}
+	return nil
 }
 
 // AddDocumentFiltered indexes only the terms of the document for which
@@ -59,9 +98,9 @@ func (b *Builder) AddDocument(ext int, terms []string) {
 // original token positions. Term-partitioned servers use this to hold
 // complete postings for their term range with correct BM25 length
 // normalization.
-func (b *Builder) AddDocumentFiltered(ext int, terms []string, keep func(string) bool) {
+func (b *MemBuilder) AddDocumentFiltered(ext int, terms []string, keep func(string) bool) error {
 	if _, dup := b.byExt[ext]; dup {
-		panic(fmt.Sprintf("index: duplicate document %d", ext))
+		return fmt.Errorf("index: duplicate document %d", ext)
 	}
 	doc := int32(len(b.docs))
 	b.byExt[ext] = int(doc)
@@ -81,22 +120,24 @@ func (b *Builder) AddDocumentFiltered(ext int, terms []string, keep func(string)
 		}
 		b.posting[t] = append(b.posting[t], p)
 	}
+	return nil
 }
 
 // NumDocs returns how many documents have been added.
-func (b *Builder) NumDocs() int { return len(b.docs) }
+func (b *MemBuilder) NumDocs() int { return len(b.docs) }
 
 // Build freezes the builder into an immutable Index. The builder must
-// not be used afterwards.
-func (b *Builder) Build() *Index {
-	return b.BuildParallel(1)
+// not be used afterwards. The error is always nil (pure in-memory
+// construction cannot fail); it exists to satisfy Builder.
+func (b *MemBuilder) Build() (*Index, error) {
+	return b.BuildParallel(1), nil
 }
 
 // BuildParallel is Build with the per-term posting-list encoding fanned
 // out over up to workers goroutines (0 = GOMAXPROCS). Each worker owns
 // a disjoint set of lexicon slots, so the resulting index is identical
 // to Build's at any worker count.
-func (b *Builder) BuildParallel(workers int) *Index {
+func (b *MemBuilder) BuildParallel(workers int) *Index {
 	ix := &Index{
 		opts:     b.opts,
 		terms:    make(map[string]int, len(b.posting)),
@@ -127,7 +168,7 @@ func (b *Builder) BuildParallel(workers int) *Index {
 // workers bounds the builder-level fan-out (0 = GOMAXPROCS); each
 // builder additionally parallelizes its own posting encoding, which
 // matters when K is smaller than the machine.
-func BuildAll(builders []*Builder, workers int) []*Index {
+func BuildAll(builders []*MemBuilder, workers int) []*Index {
 	out := make([]*Index, len(builders))
 	conc.Do(len(builders), workers, func(i int) {
 		out[i] = builders[i].BuildParallel(workers)
@@ -158,10 +199,11 @@ func NewSortBuilder(opts Options) *SortBuilder {
 	return &SortBuilder{opts: opts, byExt: make(map[int]int)}
 }
 
-// AddDocument records the occurrence triples of one document.
-func (b *SortBuilder) AddDocument(ext int, terms []string) {
+// AddDocument records the occurrence triples of one document, rejecting
+// duplicate IDs.
+func (b *SortBuilder) AddDocument(ext int, terms []string) error {
 	if _, dup := b.byExt[ext]; dup {
-		panic(fmt.Sprintf("index: duplicate document %d", ext))
+		return fmt.Errorf("index: duplicate document %d", ext)
 	}
 	doc := int32(len(b.docs))
 	b.byExt[ext] = int(doc)
@@ -170,10 +212,15 @@ func (b *SortBuilder) AddDocument(ext int, terms []string) {
 	for i, t := range terms {
 		b.recs = append(b.recs, occRecord{term: t, doc: doc, pos: int32(i)})
 	}
+	return nil
 }
 
-// Build sorts the occurrence records and assembles the index.
-func (b *SortBuilder) Build() *Index {
+// NumDocs returns how many documents have been added.
+func (b *SortBuilder) NumDocs() int { return len(b.docs) }
+
+// Build sorts the occurrence records and assembles the index. The error
+// is always nil; it exists to satisfy Builder.
+func (b *SortBuilder) Build() (*Index, error) {
 	sort.Slice(b.recs, func(i, j int) bool {
 		a, c := b.recs[i], b.recs[j]
 		if a.term != c.term {
@@ -212,7 +259,7 @@ func (b *SortBuilder) Build() *Index {
 		ix.terms[term] = len(ix.termList)
 		ix.termList = append(ix.termList, termEntry{term: term, pl: encodePostings(ps, b.opts, st)})
 	}
-	return ix
+	return ix, nil
 }
 
 // Equal reports whether two indexes contain the same documents, lexicon,

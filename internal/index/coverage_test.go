@@ -11,7 +11,7 @@ func TestAddDocumentFilteredKeepsFullLength(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
 	terms := []string{"keep", "drop", "keep", "drop", "drop"}
 	b.AddDocumentFiltered(9, terms, func(t string) bool { return t == "keep" })
-	ix := b.Build()
+	ix := MustBuild(b)
 	// Only the kept term is indexed...
 	if ix.DF("keep") != 1 || ix.DF("drop") != 0 {
 		t.Fatalf("df keep=%d drop=%d", ix.DF("keep"), ix.DF("drop"))
@@ -30,15 +30,14 @@ func TestAddDocumentFilteredKeepsFullLength(t *testing.T) {
 	}
 }
 
-func TestAddDocumentFilteredDuplicatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate AddDocumentFiltered did not panic")
-		}
-	}()
+func TestAddDocumentFilteredDuplicateErrors(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
-	b.AddDocumentFiltered(1, []string{"a"}, func(string) bool { return true })
-	b.AddDocumentFiltered(1, []string{"b"}, func(string) bool { return true })
+	if err := b.AddDocumentFiltered(1, []string{"a"}, func(string) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddDocumentFiltered(1, []string{"b"}, func(string) bool { return true }); err == nil {
+		t.Fatal("duplicate AddDocumentFiltered did not error")
+	}
 }
 
 func TestBuilderNumDocs(t *testing.T) {
@@ -71,7 +70,7 @@ func TestEqualDetectsDifferences(t *testing.T) {
 			terms = append(terms, "b")
 		}
 		b.AddDocument(1, terms)
-		return b.Build()
+		return MustBuild(b)
 	}
 	if Equal(mk(1), mk(2)) {
 		t.Fatal("Equal missed a TF difference")
@@ -81,13 +80,13 @@ func TestEqualDetectsDifferences(t *testing.T) {
 	a.AddDocument(1, []string{"x"})
 	c := NewBuilder(DefaultOptions())
 	c.AddDocument(2, []string{"x"})
-	if Equal(a.Build(), c.Build()) {
+	if Equal(MustBuild(a), MustBuild(c)) {
 		t.Fatal("Equal missed a document-ID difference")
 	}
 	// Different lexicons, same sizes.
 	d := NewBuilder(DefaultOptions())
 	d.AddDocument(1, []string{"y"})
-	if Equal(a.Build(), d.Build()) {
+	if Equal(MustBuild(a), MustBuild(d)) {
 		t.Fatal("Equal missed a lexicon difference")
 	}
 }
@@ -118,7 +117,7 @@ func TestReconstructTermsWithoutPositions(t *testing.T) {
 	opts := Options{Compress: true, StorePositions: false, BlockSize: 0}
 	b := NewBuilder(opts)
 	b.AddDocument(3, []string{"x", "y", "x"})
-	ix := b.Build()
+	ix := MustBuild(b)
 	got := reconstructTerms(ix, 0)
 	if len(got) != 3 {
 		t.Fatalf("reconstructed %d terms, want 3 (bag form)", len(got))

@@ -53,7 +53,7 @@ func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, er
 			for _, d := range chunks[i] {
 				b.AddDocument(d.Ext, d.Terms)
 			}
-			partials[i] = b.Build()
+			partials[i] = b.BuildParallel(1)
 		}(i)
 	}
 	wg.Wait()

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"time"
 )
 
 // Dynamic is an online-maintained index for collections whose updates
@@ -16,61 +15,74 @@ import (
 // operation usually requires locking the index."
 //
 // Structure: newly added documents accumulate in an in-memory buffer
-// that is searchable by scan; when the buffer fills it is flushed to an
-// immutable segment, and segments are merged geometrically (Lester,
-// Moffat & Zobel's geometric partitioning — reference [15] of the
-// paper), so there are at most O(log n) segments and each document is
-// re-merged O(log n) times.
+// that is searchable by scan; when the buffer fills it is sealed into
+// an immutable segment of a SegmentStore, whose tiered size-ratio
+// policy merges segments geometrically (Lester, Moffat & Zobel —
+// reference [15] of the paper), so there are at most O(log n) segments
+// and each document is re-merged O(log n) times.
 //
-// Readers take the read lock; flushes and merges take the write lock —
-// the "lockout effect" is therefore measurable as reader wait time, and
-// experiment C15 quantifies it.
+// Unlike the paper's pessimistic locking story, readers here never wait
+// for maintenance: every mutation publishes a fresh immutable snapshot
+// (buffer + segment manifest) behind one pointer, segment builds and
+// merges run with no lock held, and Search evaluates entirely against
+// the snapshot it grabbed. The historical "lockout effect" experiment
+// (C15) now measures the absence of reader stalls rather than their
+// cost.
 type Dynamic struct {
-	mu        sync.RWMutex
 	opts      Options
 	bufferCap int
-	radix     int
 
-	buffer   []Doc
-	bufByExt map[int]bool
-	segments []*Index // sorted by level; segments[i] holds ~bufferCap*radix^i docs
-	deleted  map[int]bool
+	store *SegmentStore
 
-	// Maintenance accounting.
-	flushes    int
-	merges     int
-	mergedDocs int
-	lockHeldMs float64 // total wall time the write lock was held
+	// maint serializes mutators (Add, Delete, Flush, Build). Readers
+	// never take it.
+	maint    sync.Mutex
+	bufByExt map[int]bool // guarded by maint
+
+	// mu guards only the snapshot pointer; it is held for pointer swaps,
+	// never across builds or merges.
+	mu   sync.RWMutex
+	snap *dynSnapshot
 
 	// onChange hooks run after every completed mutation (Add, Delete,
-	// Flush), outside the write lock. Result caches register here so an
-	// index update invalidates their entries (generation bump) without
-	// the index knowing about caching.
+	// Flush), outside all locks. Result caches register here so an index
+	// update invalidates their entries (generation bump) without the
+	// index knowing about caching.
 	hookMu   sync.Mutex
 	onChange []func()
 }
 
-// NewDynamic creates a dynamic index flushing every bufferCap documents
-// and merging segments with the given radix (≥2).
+// dynSnapshot is one immutable published view: the unflushed buffer
+// plus the segment manifest, swapped together so a query can never see
+// a document both in a fresh segment and still in the buffer.
+type dynSnapshot struct {
+	buffer []Doc
+	man    *Manifest
+}
+
+// NewDynamic creates a dynamic index sealing a segment every bufferCap
+// documents and merging segments with the given radix (>= 2).
 func NewDynamic(opts Options, bufferCap, radix int) *Dynamic {
 	if bufferCap < 1 {
 		bufferCap = 64
 	}
-	if radix < 2 {
-		radix = 3
-	}
+	store := NewSegmentStore(opts, MergePolicy{Radix: radix})
 	return &Dynamic{
 		opts:      opts,
 		bufferCap: bufferCap,
-		radix:     radix,
+		store:     store,
 		bufByExt:  make(map[int]bool),
-		deleted:   make(map[int]bool),
+		snap:      &dynSnapshot{man: store.Manifest()},
 	}
 }
 
+// Store exposes the underlying segment store (manifest snapshots, merge
+// statistics). Structural mutation must keep going through the Dynamic.
+func (d *Dynamic) Store() *SegmentStore { return d.store }
+
 // OnChange registers fn to run after every completed mutation (Add,
-// Delete, Flush). Hooks fire outside the index's write lock and must be
-// fast and non-blocking; the intended use is bumping a result cache's
+// Delete, Flush). Hooks fire outside the index's locks and must be fast
+// and non-blocking; the intended use is bumping a result cache's
 // generation counter.
 func (d *Dynamic) OnChange(fn func()) {
 	d.hookMu.Lock()
@@ -78,8 +90,9 @@ func (d *Dynamic) OnChange(fn func()) {
 	d.hookMu.Unlock()
 }
 
-// notifyChange runs the registered hooks. Callers must NOT hold d.mu —
-// a hook that queries the index back would deadlock otherwise.
+// notifyChange runs the registered hooks. Callers must NOT hold d.mu or
+// d.maint — a hook that queries the index back would deadlock
+// otherwise.
 func (d *Dynamic) notifyChange() {
 	d.hookMu.Lock()
 	hooks := d.onChange
@@ -89,31 +102,50 @@ func (d *Dynamic) notifyChange() {
 	}
 }
 
+// snapshot returns the current published view.
+func (d *Dynamic) snapshot() *dynSnapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.snap
+}
+
+// publish swaps in a new view.
+func (d *Dynamic) publish(s *dynSnapshot) {
+	d.mu.Lock()
+	d.snap = s
+	d.mu.Unlock()
+}
+
 // Add indexes a document online. Duplicate IDs are rejected; so are
 // re-adds of a deleted document whose tombstoned copy still resides in a
 // segment (clearing the tombstone would resurrect the stale copy —
 // updates are modelled as delete + add under a fresh ID, the common
 // practice for immutable-segment indexes).
 func (d *Dynamic) Add(ext int, terms []string) error {
-	d.mu.Lock()
+	d.maint.Lock()
+	snap := d.snapshot()
 	if d.bufByExt[ext] {
-		d.mu.Unlock()
+		d.maint.Unlock()
 		return fmt.Errorf("index: document %d already present", ext)
 	}
-	if d.segmentContainsLocked(ext) {
-		tombstoned := d.deleted[ext]
-		d.mu.Unlock()
+	if snap.man.Contains(ext) {
+		tombstoned := snap.man.Deleted(ext)
+		d.maint.Unlock()
 		if tombstoned {
 			return fmt.Errorf("index: document %d is tombstoned but still resident in a segment; re-add under a new ID", ext)
 		}
 		return fmt.Errorf("index: document %d already present", ext)
 	}
-	d.buffer = append(d.buffer, Doc{Ext: ext, Terms: terms})
+	buf := make([]Doc, 0, len(snap.buffer)+1)
+	buf = append(buf, snap.buffer...)
+	buf = append(buf, Doc{Ext: ext, Terms: terms})
 	d.bufByExt[ext] = true
-	if len(d.buffer) >= d.bufferCap {
-		d.flushLocked()
+	if len(buf) >= d.bufferCap {
+		d.sealBuffer(buf)
+	} else {
+		d.publish(&dynSnapshot{buffer: buf, man: snap.man})
 	}
-	d.mu.Unlock()
+	d.maint.Unlock()
 	d.notifyChange()
 	return nil
 }
@@ -121,22 +153,24 @@ func (d *Dynamic) Add(ext int, terms []string) error {
 // Delete tombstones a document; it disappears from searches immediately
 // and is physically dropped at the next merge touching its segment.
 func (d *Dynamic) Delete(ext int) {
-	d.mu.Lock()
+	d.maint.Lock()
+	snap := d.snapshot()
 	removed := false
 	if d.bufByExt[ext] {
-		for i, doc := range d.buffer {
-			if doc.Ext == ext {
-				d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
-				break
+		buf := make([]Doc, 0, len(snap.buffer)-1)
+		for _, doc := range snap.buffer {
+			if doc.Ext != ext {
+				buf = append(buf, doc)
 			}
 		}
 		delete(d.bufByExt, ext)
+		d.publish(&dynSnapshot{buffer: buf, man: snap.man})
 		removed = true
-	} else if d.segmentContainsLocked(ext) {
-		d.deleted[ext] = true
+	} else if d.store.Delete(ext) {
+		d.publish(&dynSnapshot{buffer: snap.buffer, man: d.store.Manifest()})
 		removed = true
 	}
-	d.mu.Unlock()
+	d.maint.Unlock()
 	if removed {
 		d.notifyChange()
 	}
@@ -145,71 +179,147 @@ func (d *Dynamic) Delete(ext int) {
 // Flush forces the buffer into a segment (e.g. before serving a
 // freshness-critical query).
 func (d *Dynamic) Flush() {
-	d.mu.Lock()
-	flushed := len(d.buffer) > 0
-	d.flushLocked()
-	d.mu.Unlock()
+	d.maint.Lock()
+	snap := d.snapshot()
+	flushed := len(snap.buffer) > 0
+	if flushed {
+		d.sealBuffer(snap.buffer)
+	}
+	d.maint.Unlock()
 	if flushed {
 		d.notifyChange()
 	}
 }
 
-func (d *Dynamic) segmentContainsLocked(ext int) bool {
-	for _, s := range d.segments {
-		if s.InternalID(ext) >= 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// flushLocked builds a segment from the buffer and runs the geometric
-// merge cascade. Caller holds the write lock.
-func (d *Dynamic) flushLocked() {
-	if len(d.buffer) == 0 {
-		return
-	}
-	start := time.Now() //dwrlint:allow wallclock lockHeldMs is reported wall-clock lock-hold time, not replayed behavior
+// sealBuffer builds a segment from buf, applies it to the store (which
+// runs the merge cascade), and publishes the post-flush snapshot.
+// Caller holds d.maint — but NOT d.mu, so concurrent searches proceed
+// against the pre-flush snapshot for the whole build and swap in one
+// pointer move at the end. This is the off-lock merge the PR 5 audit
+// flagged the old implementation for: the write lock used to be held
+// across the entire build-and-merge cascade.
+func (d *Dynamic) sealBuffer(buf []Doc) {
 	b := NewBuilder(d.opts)
-	for _, doc := range d.buffer {
-		b.AddDocument(doc.Ext, doc.Terms)
-	}
-	d.segments = append(d.segments, b.Build())
-	d.buffer = d.buffer[:0]
-	d.bufByExt = make(map[int]bool)
-	d.flushes++
-
-	// Geometric cascade: while the last two segments are within a radix
-	// factor, merge them (dropping tombstoned docs).
-	for len(d.segments) >= 2 {
-		a := d.segments[len(d.segments)-2]
-		c := d.segments[len(d.segments)-1]
-		if a.NumDocs() >= d.radix*c.NumDocs() {
-			break
+	for _, doc := range buf {
+		if err := b.AddDocument(doc.Ext, doc.Terms); err != nil {
+			// Add dedupes against the buffer, so this is unreachable.
+			panic(err)
 		}
-		merged := d.mergeSegmentsLocked(a, c)
-		d.segments = d.segments[:len(d.segments)-2]
-		d.segments = append(d.segments, merged)
-		d.merges++
-		d.mergedDocs += merged.NumDocs()
 	}
-	d.lockHeldMs += float64(time.Since(start).Microseconds()) / 1000 //dwrlint:allow wallclock lockHeldMs is reported wall-clock lock-hold time, not replayed behavior
+	if err := d.store.Apply(b.BuildParallel(1)); err != nil {
+		// Add dedupes against the store, so this is unreachable.
+		panic(err)
+	}
+	d.publish(&dynSnapshot{man: d.store.Manifest()})
+	for _, doc := range buf {
+		delete(d.bufByExt, doc.Ext)
+	}
 }
 
-// mergeSegmentsLocked merges two segments, dropping tombstones.
-func (d *Dynamic) mergeSegmentsLocked(a, b *Index) *Index {
-	nb := NewBuilder(d.opts)
-	for _, src := range []*Index{a, b} {
-		for doc := int32(0); doc < int32(src.NumDocs()); doc++ {
-			ext := src.ExtID(doc)
-			if d.deleted[ext] {
-				delete(d.deleted, ext)
-				continue
-			}
-			nb.AddDocument(ext, reconstructTerms(src, doc))
-		}
+// Segments returns the current number of sealed segments.
+func (d *Dynamic) Segments() int {
+	return d.snapshot().man.NumSegments()
+}
+
+// NumDocs returns the number of live documents (buffer + segments −
+// tombstones).
+func (d *Dynamic) NumDocs() int {
+	s := d.snapshot()
+	return len(s.buffer) + s.man.NumDocs()
+}
+
+// AddDocument implements Builder (it is Add under the uniform
+// construction-surface name).
+func (d *Dynamic) AddDocument(ext int, terms []string) error {
+	return d.Add(ext, terms)
+}
+
+// Build implements Builder: the end-of-stream handoff that seals the
+// buffer, compacts every segment into one (dropping tombstones), and
+// returns the immutable result. The Dynamic remains usable afterwards —
+// the compacted segment stays resident as its single segment.
+func (d *Dynamic) Build() (*Index, error) {
+	d.Flush()
+	d.maint.Lock()
+	ix, err := d.store.Compact()
+	if err == nil {
+		d.publish(&dynSnapshot{man: d.store.Manifest()})
 	}
-	return nb.Build()
+	d.maint.Unlock()
+	d.notifyChange()
+	return ix, err
+}
+
+// MaintenanceStats reports flush/merge/tombstone activity and manifest
+// churn.
+type MaintenanceStats struct {
+	Flushes           int    // buffer seals
+	Merges            int    // segment merges
+	MergedDocs        int    // documents written by merges
+	TombstonesDropped int    // tombstoned documents physically removed
+	Swaps             uint64 // manifest generations published by the store
+	Segments          int    // sealed segments currently resident
+}
+
+// Maintenance returns the accumulated maintenance statistics.
+func (d *Dynamic) Maintenance() MaintenanceStats {
+	st := d.store.Stats()
+	return MaintenanceStats{
+		Flushes:           st.Applied,
+		Merges:            st.Merges,
+		MergedDocs:        st.MergedDocs,
+		TombstonesDropped: st.TombstonesDropped,
+		Swaps:             st.Gen,
+		Segments:          st.Segments,
+	}
+}
+
+// SearchResult is one hit from Dynamic.Search.
+type SearchResult struct {
+	Doc   int
+	Score float64
+}
+
+// Search evaluates a disjunctive query across all segments and the
+// in-memory buffer and returns the top k by BM25-like scoring, using
+// statistics aggregated over the live collection. It grabs one snapshot
+// and evaluates with no lock held: a concurrent flush, merge, or delete
+// swaps the snapshot pointer but never mutates what this query sees.
+func (d *Dynamic) Search(terms []string, k int) []SearchResult {
+	s := d.snapshot()
+	rs, _ := searchView(s.man.segments, s.man.deleted, s.buffer, terms, k)
+	return rs
+}
+
+// SearchScanned is Search plus the number of postings scanned — the
+// work counter latency cost models are driven by.
+func (d *Dynamic) SearchScanned(terms []string, k int) ([]SearchResult, int64) {
+	s := d.snapshot()
+	return searchView(s.man.segments, s.man.deleted, s.buffer, terms, k)
+}
+
+func bm25IDF(n, df int) float64 {
+	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	if idf < 1e-6 {
+		idf = 1e-6
+	}
+	return idf
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortSearchResults(rs []SearchResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Doc < rs[j].Doc
+	})
 }
 
 // reconstructTerms rebuilds a document's token sequence from positional
@@ -253,164 +363,49 @@ func reconstructTerms(ix *Index, doc int32) []string {
 	return terms
 }
 
-// Segments returns the current number of on-"disk" segments.
-func (d *Dynamic) Segments() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.segments)
-}
-
-// NumDocs returns the number of live documents (buffer + segments −
-// tombstones).
-func (d *Dynamic) NumDocs() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	n := len(d.buffer)
-	for _, s := range d.segments {
-		n += s.NumDocs()
+// reconstructAllDocs rebuilds every document's token sequence in one
+// pass over the lexicon, walking each posting list exactly once —
+// O(total postings), where calling reconstructTerms per document is
+// O(docs × lexicon). Produces identical sequences: both fill positional
+// slots (or append TF repeats) in the same lexicon order.
+func reconstructAllDocs(ix *Index) [][]string {
+	n := ix.NumDocs()
+	terms := make([][]string, n)
+	filled := make([]int, n)
+	for doc := 0; doc < n; doc++ {
+		terms[doc] = make([]string, ix.DocLen(int32(doc)))
 	}
-	return n - len(d.deleted)
-}
-
-// MaintenanceStats reports flush/merge activity and total write-lock
-// hold time.
-type MaintenanceStats struct {
-	Flushes    int
-	Merges     int
-	MergedDocs int
-	LockHeldMs float64
-	Segments   int
-}
-
-// Maintenance returns the accumulated maintenance statistics.
-func (d *Dynamic) Maintenance() MaintenanceStats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return MaintenanceStats{
-		Flushes:    d.flushes,
-		Merges:     d.merges,
-		MergedDocs: d.mergedDocs,
-		LockHeldMs: d.lockHeldMs,
-		Segments:   len(d.segments),
-	}
-}
-
-// SearchResult is one hit from Dynamic.Search.
-type SearchResult struct {
-	Doc   int
-	Score float64
-}
-
-// Search evaluates a disjunctive query across all segments and the
-// in-memory buffer under the read lock, using statistics aggregated over
-// the live collection, and returns the top k by BM25-like scoring.
-// (Scoring duplicates a little of internal/rank to avoid an import
-// cycle; the formulas match.)
-func (d *Dynamic) Search(terms []string, k int) []SearchResult {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-
-	// Aggregate statistics.
-	numDocs := len(d.buffer)
-	var totalLen int64
-	df := make(map[string]int, len(terms))
-	uniq := make([]string, 0, len(terms))
-	seen := make(map[string]bool, len(terms))
-	for _, t := range terms {
-		if !seen[t] {
-			seen[t] = true
-			uniq = append(uniq, t)
-		}
-	}
-	for _, s := range d.segments {
-		numDocs += s.NumDocs()
-		totalLen += s.TotalLen()
-		for _, t := range uniq {
-			df[t] += s.DF(t)
-		}
-	}
-	for _, doc := range d.buffer {
-		totalLen += int64(len(doc.Terms))
-		for _, t := range uniq {
-			for _, w := range doc.Terms {
-				if w == t {
-					df[t]++
-					break
+	for ti := range ix.termList {
+		t := &ix.termList[ti]
+		it := newIterator(&t.pl, ix.opts, true)
+		for it.Next() {
+			p := it.Posting()
+			buf := terms[p.Doc]
+			if ix.opts.StorePositions {
+				for _, pos := range p.Pos {
+					if int(pos) < len(buf) && buf[pos] == "" {
+						buf[pos] = t.term
+						filled[p.Doc]++
+					}
+				}
+			} else {
+				for k := int32(0); k < p.TF && filled[p.Doc] < len(buf); k++ {
+					buf[filled[p.Doc]] = t.term
+					filled[p.Doc]++
 				}
 			}
 		}
 	}
-	numDocs -= len(d.deleted)
-	if numDocs <= 0 {
-		return nil
-	}
-	avgLen := float64(totalLen) / float64(numDocs)
-
-	scores := make(map[int]float64)
-	addScore := func(ext int, tf int32, docLen int, idf float64) {
-		if d.deleted[ext] {
-			return
-		}
-		const k1, b = 1.2, 0.75
-		norm := 1 - b + b*float64(docLen)/maxf(avgLen, 1)
-		scores[ext] += idf * float64(tf) * (k1 + 1) / (float64(tf) + k1*norm)
-	}
-	for _, t := range uniq {
-		idf := bm25IDF(numDocs, df[t])
-		for _, s := range d.segments {
-			it := s.Postings(t)
-			if it == nil {
-				continue
-			}
-			for it.Next() {
-				p := it.Posting()
-				addScore(s.ExtID(p.Doc), p.TF, s.DocLen(p.Doc), idf)
-			}
-		}
-		for _, doc := range d.buffer {
-			tf := int32(0)
-			for _, w := range doc.Terms {
-				if w == t {
-					tf++
+	for d := range terms {
+		if filled[d] < len(terms[d]) {
+			out := terms[d][:0]
+			for _, s := range terms[d] {
+				if s != "" {
+					out = append(out, s)
 				}
 			}
-			if tf > 0 {
-				addScore(doc.Ext, tf, len(doc.Terms), idf)
-			}
+			terms[d] = out
 		}
 	}
-
-	out := make([]SearchResult, 0, len(scores))
-	for doc, score := range scores {
-		out = append(out, SearchResult{Doc: doc, Score: score})
-	}
-	sortSearchResults(out)
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
-}
-
-func bm25IDF(n, df int) float64 {
-	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
-	if idf < 1e-6 {
-		idf = 1e-6
-	}
-	return idf
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func sortSearchResults(rs []SearchResult) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
-		}
-		return rs[i].Doc < rs[j].Doc
-	})
+	return terms
 }

@@ -22,7 +22,7 @@ func TestDynamicSearchMatchesStatic(t *testing.T) {
 		}
 		b.AddDocument(doc.Ext, doc.Terms)
 	}
-	static := b.Build()
+	static := MustBuild(b)
 	if d.NumDocs() != static.NumDocs() {
 		t.Fatalf("dynamic has %d docs, static %d", d.NumDocs(), static.NumDocs())
 	}
@@ -175,7 +175,7 @@ func TestReconstructTermsExact(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
 	orig := []string{"the", "quick", "fox", "the", "end"}
 	b.AddDocument(7, orig)
-	ix := b.Build()
+	ix := MustBuild(b)
 	got := reconstructTerms(ix, 0)
 	if len(got) != len(orig) {
 		t.Fatalf("reconstructed %d terms, want %d", len(got), len(orig))

@@ -13,7 +13,7 @@ func buildTiny(opts Options) *Index {
 	b.AddDocument(10, []string{"apple", "banana", "apple"})
 	b.AddDocument(20, []string{"banana", "cherry"})
 	b.AddDocument(30, []string{"apple", "cherry", "cherry", "date"})
-	return b.Build()
+	return MustBuild(b)
 }
 
 func TestIndexBasics(t *testing.T) {
@@ -98,7 +98,7 @@ func TestCompressionShrinksIndex(t *testing.T) {
 		for _, d := range docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		return b.Build()
+		return MustBuild(b)
 	}
 	c, f := build(true), build(false)
 	if c.SizeBytes() >= f.SizeBytes() {
@@ -115,7 +115,7 @@ func TestSkipToMatchesLinearScan(t *testing.T) {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	ix := b.Build()
+	ix := MustBuild(b)
 
 	for _, term := range ix.Terms()[:10] {
 		// Collect all docs by linear scan.
@@ -158,7 +158,7 @@ func TestSkipToThenNextContinues(t *testing.T) {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	ix := b.Build()
+	ix := MustBuild(b)
 	term := ix.Terms()[0]
 	var all []int32
 	it := ix.Postings(term)
@@ -225,15 +225,14 @@ func TestEncodePanicsOnUnsortedPostings(t *testing.T) {
 	encodePostings([]Posting{{Doc: 5, TF: 1}, {Doc: 3, TF: 1}}, DefaultOptions(), encodeStats{})
 }
 
-func TestDuplicateDocumentPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate AddDocument did not panic")
-		}
-	}()
+func TestDuplicateDocumentErrors(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
-	b.AddDocument(1, []string{"a"})
-	b.AddDocument(1, []string{"b"})
+	if err := b.AddDocument(1, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddDocument(1, []string{"b"}); err == nil {
+		t.Fatal("duplicate AddDocument did not error")
+	}
 }
 
 func TestLocalStatsAndMerge(t *testing.T) {
@@ -253,7 +252,7 @@ func TestLocalStatsAndMerge(t *testing.T) {
 }
 
 func TestEmptyIndex(t *testing.T) {
-	ix := NewBuilder(DefaultOptions()).Build()
+	ix := MustBuild(NewBuilder(DefaultOptions()))
 	if ix.NumDocs() != 0 || ix.NumTerms() != 0 || ix.AvgDocLen() != 0 {
 		t.Fatal("empty index not empty")
 	}

@@ -1,0 +1,162 @@
+package index
+
+// Manifest is an immutable snapshot of an LSM-style segment set: the
+// ordered immutable segments (oldest first), the tombstone set, and a
+// generation number that increments with every published change. A
+// Manifest is never mutated after publication — a reader that grabs one
+// evaluates queries against a frozen, internally consistent view while
+// the owning SegmentStore swaps successors in behind it. This is the
+// atomicity unit of the streaming pipeline: no query ever observes a
+// half-applied flush, merge, or delete, because the only shared mutable
+// state is a single pointer.
+type Manifest struct {
+	gen      uint64
+	segments []*Index
+	deleted  map[int]bool
+}
+
+func emptyManifest() *Manifest {
+	return &Manifest{deleted: make(map[int]bool)}
+}
+
+// Gen returns the manifest's generation: 0 for the empty store, +1 for
+// every published segment apply, merge, delete, or compaction.
+func (m *Manifest) Gen() uint64 { return m.gen }
+
+// NumSegments returns the number of resident segments.
+func (m *Manifest) NumSegments() int { return len(m.segments) }
+
+// NumDocs returns the number of live documents: resident minus
+// tombstoned.
+func (m *Manifest) NumDocs() int {
+	n := 0
+	for _, s := range m.segments {
+		n += s.NumDocs()
+	}
+	return n - len(m.deleted)
+}
+
+// Tombstones returns the number of tombstoned documents still
+// physically resident in some segment (they vanish at the next merge
+// that touches their segment).
+func (m *Manifest) Tombstones() int { return len(m.deleted) }
+
+// Contains reports whether ext is physically resident in some segment,
+// tombstoned or not.
+func (m *Manifest) Contains(ext int) bool {
+	for _, s := range m.segments {
+		if s.InternalID(ext) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Deleted reports whether ext is tombstoned.
+func (m *Manifest) Deleted(ext int) bool { return m.deleted[ext] }
+
+// Search evaluates a disjunctive query over the manifest's live
+// documents and returns the top k by BM25-like scoring, with collection
+// statistics aggregated across all segments. The manifest is immutable,
+// so Search is safe from any number of goroutines and needs no lock.
+func (m *Manifest) Search(terms []string, k int) []SearchResult {
+	rs, _ := searchView(m.segments, m.deleted, nil, terms, k)
+	return rs
+}
+
+// SearchScanned is Search plus the number of postings scanned — the
+// work counter latency cost models are driven by.
+func (m *Manifest) SearchScanned(terms []string, k int) ([]SearchResult, int64) {
+	return searchView(m.segments, m.deleted, nil, terms, k)
+}
+
+// searchView is the shared scorer behind Manifest.Search and
+// Dynamic.Search: a disjunctive BM25-like evaluation over immutable
+// segments plus an optional in-memory buffer of unflushed documents,
+// with document frequencies and lengths aggregated over the whole view.
+// (Scoring duplicates a little of internal/rank to avoid an import
+// cycle; the formulas match.) The returned int64 counts postings
+// scanned, including buffer term matches.
+func searchView(segments []*Index, deleted map[int]bool, buffer []Doc, terms []string, k int) ([]SearchResult, int64) {
+	numDocs := len(buffer)
+	var totalLen int64
+	df := make(map[string]int, len(terms))
+	uniq := make([]string, 0, len(terms))
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	for _, s := range segments {
+		numDocs += s.NumDocs()
+		totalLen += s.TotalLen()
+		for _, t := range uniq {
+			df[t] += s.DF(t)
+		}
+	}
+	for _, doc := range buffer {
+		totalLen += int64(len(doc.Terms))
+		for _, t := range uniq {
+			for _, w := range doc.Terms {
+				if w == t {
+					df[t]++
+					break
+				}
+			}
+		}
+	}
+	numDocs -= len(deleted)
+	if numDocs <= 0 {
+		return nil, 0
+	}
+	avgLen := float64(totalLen) / float64(numDocs)
+
+	var scanned int64
+	scores := make(map[int]float64)
+	addScore := func(ext int, tf int32, docLen int, idf float64) {
+		if deleted[ext] {
+			return
+		}
+		const k1, b = 1.2, 0.75
+		norm := 1 - b + b*float64(docLen)/maxf(avgLen, 1)
+		scores[ext] += idf * float64(tf) * (k1 + 1) / (float64(tf) + k1*norm)
+	}
+	for _, t := range uniq {
+		idf := bm25IDF(numDocs, df[t])
+		for _, s := range segments {
+			it := s.Postings(t)
+			if it == nil {
+				continue
+			}
+			for it.Next() {
+				p := it.Posting()
+				scanned++
+				addScore(s.ExtID(p.Doc), p.TF, s.DocLen(p.Doc), idf)
+			}
+		}
+		for _, doc := range buffer {
+			tf := int32(0)
+			for _, w := range doc.Terms {
+				if w == t {
+					tf++
+				}
+			}
+			if tf > 0 {
+				scanned++
+				addScore(doc.Ext, tf, len(doc.Terms), idf)
+			}
+		}
+	}
+
+	out := make([]SearchResult, 0, len(scores))
+	for doc, score := range scores {
+		out = append(out, SearchResult{Doc: doc, Score: score})
+	}
+	sortSearchResults(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, scanned
+}

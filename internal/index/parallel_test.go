@@ -7,7 +7,7 @@ import (
 )
 
 // twinBuilders returns two builders fed the identical document stream.
-func twinBuilders(opts Options, docs []Doc) (*Builder, *Builder) {
+func twinBuilders(opts Options, docs []Doc) (*MemBuilder, *MemBuilder) {
 	a, b := NewBuilder(opts), NewBuilder(opts)
 	for _, d := range docs {
 		a.AddDocument(d.Ext, d.Terms)
@@ -21,7 +21,7 @@ func TestBuildParallelEqualsSerial(t *testing.T) {
 	docs := randomDocs(rng, 500, 80)
 	for _, opts := range []Options{DefaultOptions(), {Compress: false, BlockSize: 8}} {
 		a, b := twinBuilders(opts, docs)
-		serial := a.Build()
+		serial := MustBuild(a)
 		par := b.BuildParallel(8)
 		if !Equal(serial, par) {
 			t.Fatalf("opts %+v: parallel build differs from serial", opts)
@@ -33,8 +33,8 @@ func TestBuildAllEqualsIndividualBuilds(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	docs := randomDocs(rng, 400, 60)
 	const k = 5
-	mk := func() []*Builder {
-		bs := make([]*Builder, k)
+	mk := func() []*MemBuilder {
+		bs := make([]*MemBuilder, k)
 		for i := range bs {
 			bs[i] = NewBuilder(DefaultOptions())
 		}
@@ -46,7 +46,7 @@ func TestBuildAllEqualsIndividualBuilds(t *testing.T) {
 	serialBuilders, parBuilders := mk(), mk()
 	serial := make([]*Index, k)
 	for i, b := range serialBuilders {
-		serial[i] = b.Build()
+		serial[i] = MustBuild(b)
 	}
 	par := BuildAll(parBuilders, 8)
 	for i := range serial {
@@ -70,7 +70,7 @@ func TestSkipToRepeatedCallsMatchLinear(t *testing.T) {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	ix := b.Build()
+	ix := MustBuild(b)
 
 	for _, term := range ix.Terms() {
 		var all []int32
@@ -120,7 +120,7 @@ func TestConcurrentReaders(t *testing.T) {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	ix := b.Build()
+	ix := MustBuild(b)
 	terms := ix.Terms()
 
 	var wg sync.WaitGroup

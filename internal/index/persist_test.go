@@ -21,7 +21,7 @@ func TestPersistRoundTrip(t *testing.T) {
 		for _, d := range docs {
 			b.AddDocument(d.Ext, d.Terms)
 		}
-		ix := b.Build()
+		ix := MustBuild(b)
 
 		path := filepath.Join(t.TempDir(), "test.idx")
 		if err := ix.WriteFile(path); err != nil {
@@ -77,7 +77,7 @@ func TestPersistRejectsOldVersion(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
 	b.AddDocument(1, []string{"alpha", "beta"})
 	var buf bytes.Buffer
-	if err := b.Build().Write(&buf); err != nil {
+	if err := MustBuild(b).Write(&buf); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
@@ -92,7 +92,7 @@ func TestPersistRejectsOldVersion(t *testing.T) {
 }
 
 func TestPersistEmptyIndex(t *testing.T) {
-	ix := NewBuilder(DefaultOptions()).Build()
+	ix := MustBuild(NewBuilder(DefaultOptions()))
 	var buf bytes.Buffer
 	if err := ix.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestPersistRejectsCorruption(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
 	b.AddDocument(1, []string{"alpha", "beta", "alpha"})
 	b.AddDocument(2, []string{"beta", "gamma"})
-	ix := b.Build()
+	ix := MustBuild(b)
 	var buf bytes.Buffer
 	if err := ix.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestPersistRejectsCorruption(t *testing.T) {
 func TestWriteFileAtomic(t *testing.T) {
 	b := NewBuilder(DefaultOptions())
 	b.AddDocument(1, []string{"x"})
-	ix := b.Build()
+	ix := MustBuild(b)
 	path := filepath.Join(t.TempDir(), "atomic.idx")
 	if err := ix.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestWriteFileAtomic(t *testing.T) {
 	// never a partial file (atomicity via rename).
 	b2 := NewBuilder(DefaultOptions())
 	b2.AddDocument(2, []string{"y", "z"})
-	if err := b2.Build().WriteFile(path); err != nil {
+	if err := MustBuild(b2).WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadFile(path)

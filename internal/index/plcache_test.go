@@ -20,7 +20,7 @@ func plcacheIndex(t *testing.T) *Index {
 		}
 		b.AddDocument(d, terms)
 	}
-	return b.Build()
+	return MustBuild(b)
 }
 
 func TestCachedPostingsMatchesIndex(t *testing.T) {

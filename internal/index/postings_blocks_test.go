@@ -134,7 +134,7 @@ func TestBlockMetadataInvariants(t *testing.T) {
 		}
 		b.AddDocument(d, terms)
 	}
-	ix := b.Build()
+	ix := MustBuild(b)
 	avg := ix.AvgDocLen()
 	for _, term := range ix.Terms() {
 		it := ix.Postings(term)

@@ -90,6 +90,9 @@ func (b *SPIMIBuilder) AddDocument(ext int, terms []string) error {
 // Spills returns how many runs were written to disk so far.
 func (b *SPIMIBuilder) Spills() int { return b.spills }
 
+// NumDocs returns how many documents have been added.
+func (b *SPIMIBuilder) NumDocs() int { return len(b.docs) }
+
 // spill writes the in-memory buffer as one sorted run file.
 func (b *SPIMIBuilder) spill() error {
 	if len(b.cur) == 0 {

@@ -1,0 +1,299 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dwr/internal/conc"
+)
+
+// buildSegment turns a document slice into one immutable segment.
+func buildSegment(t *testing.T, docs []Doc) *Index {
+	t.Helper()
+	b := NewBuilder(DefaultOptions())
+	for _, d := range docs {
+		if err := b.AddDocument(d.Ext, d.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return MustBuild(b)
+}
+
+func TestSegmentStoreLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	docs := randomDocs(rng, 400, 40)
+	s := NewSegmentStore(DefaultOptions(), MergePolicy{Radix: 3})
+	for i := 0; i < len(docs); i += 50 {
+		end := i + 50
+		if end > len(docs) {
+			end = len(docs)
+		}
+		if err := s.Apply(buildSegment(t, docs[i:end])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man := s.Manifest()
+	if man.NumDocs() != len(docs) {
+		t.Fatalf("manifest has %d docs, want %d", man.NumDocs(), len(docs))
+	}
+	st := s.Stats()
+	if st.Applied != 8 || st.Merges == 0 {
+		t.Fatalf("unexpected maintenance activity: %+v", st)
+	}
+	// Geometric invariant: the cascade keeps the segment count small.
+	if man.NumSegments() > 6 {
+		t.Fatalf("%d segments for 8 applies at radix 3; cascade not merging", man.NumSegments())
+	}
+	// Compact produces the same index as a single-shot build.
+	got, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(buildSegment(t, docs), got) {
+		t.Fatal("compacted store differs from single-shot build of the same documents")
+	}
+}
+
+func TestSegmentStoreDeleteAndTombstoneGC(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	docs := randomDocs(rng, 200, 40)
+	s := NewSegmentStore(DefaultOptions(), MergePolicy{Radix: 3})
+	for i := 0; i < len(docs); i += 40 {
+		if err := s.Apply(buildSegment(t, docs[i:i+40])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := map[int]bool{}
+	for i := 0; i < len(docs); i += 7 {
+		if !s.Delete(docs[i].Ext) {
+			t.Fatalf("Delete(%d) found nothing", docs[i].Ext)
+		}
+		deleted[docs[i].Ext] = true
+	}
+	if s.Delete(docs[0].Ext) {
+		t.Fatal("second Delete of the same doc reported success")
+	}
+	man := s.Manifest()
+	if man.NumDocs() != len(docs)-len(deleted) {
+		t.Fatalf("live docs %d, want %d", man.NumDocs(), len(docs)-len(deleted))
+	}
+	// Tombstoned docs never surface in results.
+	for _, r := range man.Search(docs[0].Terms[:1], len(docs)) {
+		if deleted[r.Doc] {
+			t.Fatalf("tombstoned doc %d returned from Search", r.Doc)
+		}
+	}
+	// Compaction physically removes tombstones and clears the map.
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TombstonesDropped != len(deleted) {
+		t.Fatalf("compaction dropped %d tombstones, want %d", st.TombstonesDropped, len(deleted))
+	}
+	if s.Manifest().Tombstones() != 0 {
+		t.Fatal("tombstones survived compaction")
+	}
+	// A compacted-away ID can be indexed again.
+	if err := s.Apply(buildSegment(t, []Doc{{Ext: docs[0].Ext, Terms: docs[0].Terms}})); err != nil {
+		t.Fatalf("re-adding a compacted-away doc: %v", err)
+	}
+}
+
+func TestSegmentStoreRejectsCrossSegmentDuplicate(t *testing.T) {
+	s := NewSegmentStore(DefaultOptions(), MergePolicy{})
+	if err := s.Apply(buildSegment(t, []Doc{{Ext: 1, Terms: []string{"a"}}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(buildSegment(t, []Doc{{Ext: 1, Terms: []string{"b"}}})); err == nil {
+		t.Fatal("duplicate external ID accepted across segments")
+	}
+}
+
+func TestSegmentWriterStreamsToReferenceIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	docs := randomDocs(rng, 333, 40)
+	s := NewSegmentStore(DefaultOptions(), MergePolicy{Radix: 3})
+	w := NewSegmentWriter(s, 32)
+	for _, d := range docs {
+		if err := w.AddDocument(d.Ext, d.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SegmentsSealed() != len(docs)/32 {
+		t.Fatalf("sealed %d segments, want %d", w.SegmentsSealed(), len(docs)/32)
+	}
+	if w.Buffered() != len(docs)%32 {
+		t.Fatalf("buffered %d docs, want %d", w.Buffered(), len(docs)%32)
+	}
+	// Buffered docs are not yet searchable — that gap is the freshness
+	// lag the -fresh scenario measures.
+	if s.Manifest().NumDocs() != len(docs)-w.Buffered() {
+		t.Fatalf("manifest has %d docs before Cut, want %d", s.Manifest().NumDocs(), len(docs)-w.Buffered())
+	}
+	got, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(buildSegment(t, docs), got) {
+		t.Fatal("streamed segment index differs from single-shot build")
+	}
+}
+
+// TestManifestSnapshotSurvivesSwaps pins the mid-swap contract: a query
+// holding a manifest snapshot keeps answering from exactly that view no
+// matter how many applies, deletes, and merge swaps happen meanwhile.
+func TestManifestSnapshotSurvivesSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	docs := randomDocs(rng, 300, 40)
+	d := NewDynamic(DefaultOptions(), 16, 3)
+	for _, doc := range docs[:150] {
+		if err := d.Add(doc.Ext, doc.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	man := d.Store().Manifest()
+	q := docs[0].Terms[:2]
+	before := fmt.Sprintf("%+v", func() []SearchResult { r, _ := man.SearchScanned(q, 50); return r }())
+
+	// Swap storm: more adds (seals + merge cascades) and deletes.
+	for _, doc := range docs[150:] {
+		if err := d.Add(doc.Ext, doc.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 150; i += 5 {
+		d.Delete(docs[i].Ext)
+	}
+	after := fmt.Sprintf("%+v", func() []SearchResult { r, _ := man.SearchScanned(q, 50); return r }())
+	if before != after {
+		t.Fatalf("snapshot answer changed across manifest swaps:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if man.Gen() == d.Store().Manifest().Gen() {
+		t.Fatal("no swaps happened; the test exercised nothing")
+	}
+}
+
+// TestDynamicConcurrentSearchUpdateDelete runs a deterministic
+// add/delete schedule against concurrent searchers under -race. Every
+// answer must be internally consistent (no duplicates, no unknown
+// docs); the final state must match the schedule.
+func TestDynamicConcurrentSearchUpdateDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	docs := randomDocs(rng, 600, 40)
+	d := NewDynamic(DefaultOptions(), 16, 3)
+
+	known := map[int]bool{}
+	for _, doc := range docs {
+		known[doc.Ext] = true
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := [][]string{docs[r].Terms[:1], docs[r+1].Terms[:2], docs[r+2].Terms[:1]}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs := d.Search(queries[i%len(queries)], 100)
+				seen := map[int]bool{}
+				for _, res := range rs {
+					if !known[res.Doc] {
+						t.Errorf("search returned unknown doc %d", res.Doc)
+						return
+					}
+					if seen[res.Doc] {
+						t.Errorf("search returned doc %d twice in one answer", res.Doc)
+						return
+					}
+					seen[res.Doc] = true
+				}
+			}
+		}(r)
+	}
+
+	liveCount := 0
+	for i, doc := range docs {
+		if err := d.Add(doc.Ext, doc.Terms); err != nil {
+			t.Error(err)
+			break
+		}
+		liveCount++
+		// Delete every 6th doc 12 adds after it arrived: the targets are
+		// distinct, always resident, some still buffered and some sealed.
+		if i%6 == 3 && i >= 12 {
+			d.Delete(docs[i-12].Ext)
+			liveCount--
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if d.NumDocs() != liveCount {
+		t.Fatalf("final live docs %d, want %d", d.NumDocs(), liveCount)
+	}
+}
+
+// TestSegmentStoreBackgroundMerges exercises the bounded background
+// merge pool under -race: one writer applies segments and tombstones
+// deletes while readers take manifest snapshots and search them.
+func TestSegmentStoreBackgroundMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	docs := randomDocs(rng, 480, 40)
+	s := NewSegmentStore(DefaultOptions(), MergePolicy{Radix: 3})
+	s.Background(conc.NewPool(2))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			q := docs[r].Terms[:1]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				man := s.Manifest()
+				rs, _ := man.SearchScanned(q, 50)
+				for _, res := range rs {
+					if man.Deleted(res.Doc) {
+						t.Errorf("tombstoned doc %d surfaced mid-merge", res.Doc)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	deleted := 0
+	for i := 0; i < len(docs); i += 24 {
+		if err := s.Apply(buildSegment(t, docs[i:i+24])); err != nil {
+			t.Error(err)
+			break
+		}
+		if i >= 48 {
+			if s.Delete(docs[i-48].Ext) {
+				deleted++
+			}
+		}
+	}
+	close(stop)
+	s.Quiesce()
+	wg.Wait()
+	if got, want := s.Manifest().NumDocs(), len(docs)-deleted; got != want {
+		t.Fatalf("final live docs %d, want %d", got, want)
+	}
+	if s.Stats().Merges == 0 {
+		t.Fatal("background pool performed no merges")
+	}
+}

@@ -6,22 +6,17 @@ import (
 	"go/token"
 )
 
-// The deprecated-api analyzer ([deprecated]) stops the deprecated qproc
-// setter shims from re-spreading. Engines are configured with
-// functional options at construction (WithWorkers, WithResultCache,
+// The deprecated-api analyzer ([deprecated]) stops the removed qproc
+// setter shims from coming back. Engines are configured with functional
+// options at construction (WithWorkers, WithResultCache,
 // WithPostingsCache, WithFaultPolicy, WithInjector; ambient defaults
-// via SetDefaultOptions); the setters survive only so old call sites
-// keep compiling. Matching is by method/function name, which is exact
+// via SetDefaultOptions); the setter surface was deleted once all call
+// sites migrated. Matching is by method/function name, which is exact
 // for this module: no other package declares these names.
-//
-// qproc/shim_parity_test.go — the test that pins shim behavior to the
-// options it delegates to — is exempt wholesale; other intentional shim
-// exercises (e.g. a regression test for the shim itself) carry
-// //dwrlint:allow deprecated annotations.
 
-// deprecatedSetters maps each shim to the option surface that replaces
-// it. SetDown is excluded: it is deprecated for fault injection but
-// explicitly retained for static-topology experiments.
+// deprecatedSetters maps each removed shim to the option surface that
+// replaced it. SetDown is excluded: it is retained (not deprecated) for
+// static-topology experiments.
 var deprecatedSetters = map[string]string{
 	"SetWorkers":                   "WithWorkers(n) at construction",
 	"SetResultCache":               "WithResultCache / WithResultCacheInstance at construction",
@@ -32,9 +27,6 @@ var deprecatedSetters = map[string]string{
 }
 
 func analyzeDeprecatedAPI(fc *fileCtx, cfg Config, report func(pos token.Pos, rule, msg string)) {
-	if fileBase(fc.path) == "shim_parity_test.go" {
-		return
-	}
 	ast.Inspect(fc.file, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -57,14 +49,4 @@ func analyzeDeprecatedAPI(fc *fileCtx, cfg Config, report func(pos token.Pos, ru
 		}
 		return true
 	})
-}
-
-// fileBase returns the last path element of a slash path.
-func fileBase(p string) string {
-	for i := len(p) - 1; i >= 0; i-- {
-		if p[i] == '/' {
-			return p[i+1:]
-		}
-	}
-	return p
 }

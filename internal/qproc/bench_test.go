@@ -122,7 +122,6 @@ func BenchmarkResultCacheColdZipf(b *testing.B) { benchResultCache(b, false) }
 // small cache) and reports the achieved hit ratio — run LRU and SDC
 // side by side to reproduce the Fagni et al. ordering at the broker.
 func benchCachePolicy(b *testing.B, policy CachePolicy) {
-	e, _ := benchEngine(b, 8)
 	stream := zipfQueries(33, 3000, 1000)
 	opt := DocQueryOptions{K: 10, Stats: GlobalPrecomputed}
 	var static []string
@@ -140,17 +139,19 @@ func benchCachePolicy(b *testing.B, policy CachePolicy) {
 			static = static[:64]
 		}
 	}
+	e, _ := benchEngine(b, 8, WithResultCache(ResultCacheConfig{
+		Capacity: 128, Shards: 8, Policy: policy, StaticKeys: static}))
 	b.ResetTimer()
-	var last CacheStats
 	for i := 0; i < b.N; i++ {
-		//dwrlint:allow deprecated the policy benchmark swaps in a fresh cache per iteration; options configure caches only at construction
-		e.SetResultCache(NewResultCache(ResultCacheConfig{Capacity: 128, Shards: 8, Policy: policy, StaticKeys: static}))
+		// Each iteration replays the identical stream against a
+		// generation-fresh cache, so the cumulative hit ratio equals the
+		// per-iteration one.
+		e.ResultCache().Invalidate()
 		for _, q := range stream {
 			e.Query(q, opt)
 		}
-		last = e.ResultCache().Stats()
 	}
-	b.ReportMetric(last.HitRatio(), "hit-ratio")
+	b.ReportMetric(e.ResultCache().Stats().HitRatio(), "hit-ratio")
 }
 
 func BenchmarkResultCacheLRUHitRatio(b *testing.B) { benchCachePolicy(b, CacheLRU) }

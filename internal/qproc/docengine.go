@@ -19,7 +19,7 @@ import (
 // merges the per-partition top-k lists.
 //
 // The scatter-gather is real: partition evaluations fan out over a
-// bounded worker pool (SetWorkers; default GOMAXPROCS) and the broker
+// bounded worker pool (WithWorkers; default GOMAXPROCS) and the broker
 // aggregates per-partition results serially at the gather point, so
 // results and all accounting are byte-identical to the serial broker
 // (workers=1). The engine is safe for concurrent Query calls: the
@@ -77,7 +77,7 @@ type DocEngine struct {
 // — applied on top of the ambient defaults (SetDefaultOptions).
 func NewDocEngine(opts index.Options, docs []index.Doc, dp partition.DocPartition, options ...Option) (*DocEngine, error) {
 	eo := resolveOptions(options)
-	builders := make([]*index.Builder, dp.K)
+	builders := make([]*index.MemBuilder, dp.K)
 	for i := range builders {
 		builders[i] = index.NewBuilder(opts)
 	}
@@ -129,14 +129,6 @@ func (e *DocEngine) PartIndex(p int) *index.Index { return e.parts[p] }
 // GlobalStats returns the precomputed whole-collection statistics.
 func (e *DocEngine) GlobalStats() index.Stats { return e.global }
 
-// SetWorkers sets the broker's fan-out width: each query's partition
-// evaluations run on up to n goroutines. n = 1 is the serial broker,
-// n <= 0 resets to GOMAXPROCS. Any width produces identical results and
-// accounting; only wall-clock time changes.
-//
-// Deprecated: pass WithWorkers(n) to NewDocEngine.
-func (e *DocEngine) SetWorkers(n int) { e.workers = n }
-
 // Workers reports the configured fan-out width (0 = GOMAXPROCS).
 func (e *DocEngine) Workers() int { return e.workers }
 
@@ -145,11 +137,9 @@ func (e *DocEngine) Workers() int { return e.workers }
 // paper's "the system might still be able to answer queries without
 // using all the sub-collections". Topology changes invalidate the result
 // cache: entries computed against the old liveness would otherwise mask
-// the change (recovered servers' documents missing, etc.).
-//
-// Deprecated: inject failures with WithInjector and faultsim outage
-// windows (faultsim.Window) instead; SetDown remains for static
-// topology experiments.
+// the change (recovered servers' documents missing, etc.). For dynamic
+// failure scenarios prefer WithInjector and faultsim outage windows
+// (faultsim.Window); SetDown remains for static topology experiments.
 func (e *DocEngine) SetDown(p int, down bool) {
 	e.mu.Lock()
 	e.downs[p] = down
@@ -159,29 +149,10 @@ func (e *DocEngine) SetDown(p int, down bool) {
 	}
 }
 
-// SetResultCache installs (or, with nil, removes) the broker-level
-// result cache. Configure before serving queries; degraded answers are
-// never cached.
-//
-// Deprecated: pass WithResultCache / WithResultCacheInstance to
-// NewDocEngine.
-func (e *DocEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
-
 // ResultCache returns the installed result cache (nil if none).
 func (e *DocEngine) ResultCache() *ResultCache { return e.rcache }
 
-// SetPostingsCache gives every partition server a posting-list cache of
-// bytesPerPartition bytes of decoded postings (<= 0 removes the caches).
-// Cached and uncached evaluation return byte-identical results; only
-// decode work is saved. Configure before serving queries.
-//
-// Deprecated: pass WithPostingsCache(n) to NewDocEngine.
-func (e *DocEngine) SetPostingsCache(bytesPerPartition int64) {
-	e.installPostingsCache(bytesPerPartition)
-}
-
-// installPostingsCache is the shared implementation behind the
-// WithPostingsCache option and the deprecated setter shim.
+// installPostingsCache materializes the WithPostingsCache option.
 func (e *DocEngine) installPostingsCache(bytesPerPartition int64) {
 	if bytesPerPartition <= 0 {
 		e.pcaches = nil

@@ -28,6 +28,7 @@ var (
 	_ Engine = (*DocEngine)(nil)
 	_ Engine = (*TermEngine)(nil)
 	_ Engine = (*MultiSite)(nil)
+	_ Engine = (*LiveEngine)(nil)
 )
 
 // EngineStats is the uniform operational snapshot: query outcomes, the

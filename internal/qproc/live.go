@@ -1,0 +1,209 @@
+package qproc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dwr/internal/conc"
+	"dwr/internal/index"
+	"dwr/internal/rank"
+)
+
+// LiveEngine is the document-partitioned broker for collections that
+// are still being written: every partition is an index.SegmentStore
+// whose segment manifest is atomically swapped by segment writers and
+// background merges while queries are in flight. A query takes one
+// immutable manifest snapshot per partition before scattering, so no
+// request ever observes a half-swapped view — a document is either
+// entirely visible in the snapshot or not there at all. Each store's
+// OnChange hook bumps the broker result cache's generation, so cached
+// answers never outlive the index state they were computed from.
+//
+// LiveEngine deliberately reuses the static engines' configuration
+// surface (Option) and answer shape (QueryResult); it trades their
+// richer machinery (global-statistics rounds, selection, fault policy)
+// for freshness: every partition scores against its own snapshot's
+// statistics, exactly like index.Dynamic does for a single partition.
+type LiveEngine struct {
+	cost    CostModel
+	stores  []*index.SegmentStore
+	workers int
+	rcache  *ResultCache
+
+	mu      sync.Mutex
+	queries int
+	busyMs  []float64
+	scanned int64
+	maxGen  []uint64 // highest manifest generation seen per partition
+}
+
+// NewLiveEngine builds a broker over the given per-partition segment
+// stores. The stores may already be receiving writes; they keep
+// receiving writes while the engine serves. Supported options:
+// WithWorkers, WithResultCache / WithResultCacheInstance (the cache is
+// wired to every store's OnChange hook), and the ambient defaults.
+func NewLiveEngine(stores []*index.SegmentStore, options ...Option) (*LiveEngine, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("qproc: NewLiveEngine needs at least one segment store")
+	}
+	eo := resolveOptions(options)
+	e := &LiveEngine{
+		cost:    DefaultCostModel(),
+		stores:  stores,
+		workers: eo.workers,
+		rcache:  eo.resultCache(),
+		busyMs:  make([]float64, len(stores)),
+		maxGen:  make([]uint64, len(stores)),
+	}
+	if e.rcache != nil {
+		for _, s := range stores {
+			s.OnChange(e.rcache.Invalidate)
+		}
+	}
+	return e, nil
+}
+
+// LiveCacheKey is the result-cache key of a LiveEngine query: the
+// canonical term list plus k (LiveEngine has no per-query options that
+// change the answer).
+func LiveCacheKey(terms []string, k int) string {
+	return fmt.Sprintf("live|k=%d|%s", k, NormalizeQueryKey(terms))
+}
+
+// Query evaluates terms over one manifest snapshot per partition and
+// returns the merged top-k with resource accounting. Safe for
+// concurrent callers and concurrent with writes to the stores.
+func (e *LiveEngine) Query(terms []string, k int) QueryResult {
+	if k <= 0 {
+		k = 10
+	}
+	var ckey string
+	if e.rcache != nil {
+		ckey = LiveCacheKey(terms, k)
+		if hit, ok := e.rcache.Get(ckey); ok {
+			qr := QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
+			e.note(qr, nil, nil)
+			return qr
+		}
+	}
+
+	// Snapshot, then scatter. Taking all snapshots before evaluating
+	// makes the answer a pure function of the captured manifests.
+	mans := make([]*index.Manifest, len(e.stores))
+	for i, s := range e.stores {
+		mans[i] = s.Manifest()
+	}
+	partRes := make([][]index.SearchResult, len(mans))
+	partScanned := make([]int64, len(mans))
+	conc.Do(len(mans), e.workers, func(i int) {
+		partRes[i], partScanned[i] = mans[i].SearchScanned(terms, k)
+	})
+
+	// Serial gather: identical result no matter how the scatter was
+	// scheduled.
+	var merged []rank.Result
+	for _, rs := range partRes {
+		for _, r := range rs {
+			merged = append(merged, rank.Result{Doc: r.Doc, Score: r.Score})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Doc < merged[j].Doc
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+
+	qr := QueryResult{
+		Results:          merged,
+		ServersContacted: len(mans),
+		Rounds:           1,
+		Waves:            1,
+	}
+	var maxMs float64
+	for _, n := range partScanned {
+		qr.PostingsDecoded += int(n)
+		ms := e.cost.ServiceMs(int(n))
+		if ms > maxMs {
+			maxMs = ms
+		}
+	}
+	qr.BytesTransferred = int64(len(mans)) * resultBytes(k)
+	qr.LatencyMs = maxMs
+	e.note(qr, mans, partScanned)
+	if e.rcache != nil {
+		e.rcache.Put(ckey, qr)
+	}
+	return qr
+}
+
+// note records per-query accounting under the stats lock.
+func (e *LiveEngine) note(qr QueryResult, mans []*index.Manifest, scanned []int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries++
+	for i := range scanned {
+		e.busyMs[i] += e.cost.ServiceMs(int(scanned[i]))
+		e.scanned += scanned[i]
+	}
+	for i := range mans {
+		if g := mans[i].Gen(); g > e.maxGen[i] {
+			e.maxGen[i] = g
+		}
+	}
+}
+
+// QueryTopK implements Engine.
+func (e *LiveEngine) QueryTopK(terms []string, k int) QueryResult { return e.Query(terms, k) }
+
+// K implements Engine: the number of partitions (segment stores).
+func (e *LiveEngine) K() int { return len(e.stores) }
+
+// Stats implements Engine.
+func (e *LiveEngine) Stats() EngineStats {
+	e.mu.Lock()
+	st := EngineStats{Queries: e.queries}
+	e.mu.Unlock()
+	if e.rcache != nil {
+		st.ResultCache = e.rcache.Stats()
+	}
+	return st
+}
+
+// Health implements Engine. Segment stores are in-process and cannot be
+// down; a partition that has not received documents yet simply answers
+// from an empty manifest.
+func (e *LiveEngine) Health() Health { return Health{Units: len(e.stores)} }
+
+// ResultCache returns the installed result cache (nil if none).
+func (e *LiveEngine) ResultCache() *ResultCache { return e.rcache }
+
+// BusyMs returns the accumulated virtual busy time per partition.
+func (e *LiveEngine) BusyMs() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]float64(nil), e.busyMs...)
+}
+
+// Generations returns, per partition, the highest manifest generation
+// any query has observed — operational visibility into how fresh the
+// served view is.
+func (e *LiveEngine) Generations() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]uint64(nil), e.maxGen...)
+}
+
+// NumDocs returns the total live documents across the current
+// partition manifests (tombstoned documents excluded).
+func (e *LiveEngine) NumDocs() int {
+	n := 0
+	for _, s := range e.stores {
+		n += s.Manifest().NumDocs()
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package qproc
+
+import (
+	"sync"
+	"testing"
+
+	"dwr/internal/index"
+)
+
+// liveFixture builds a LiveEngine over nparts segment stores filled
+// with docs round-robin through segment writers.
+func liveFixture(t *testing.T, docs []index.Doc, nparts, segDocs int, options ...Option) (*LiveEngine, []*index.SegmentStore, []*index.SegmentWriter) {
+	t.Helper()
+	stores := make([]*index.SegmentStore, nparts)
+	writers := make([]*index.SegmentWriter, nparts)
+	for i := range stores {
+		stores[i] = index.NewSegmentStore(index.DefaultOptions(), index.MergePolicy{Radix: 3})
+		writers[i] = index.NewSegmentWriter(stores[i], segDocs)
+	}
+	for _, d := range docs {
+		if err := writers[d.Ext%nparts].AddDocument(d.Ext, d.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range writers {
+		if err := w.Cut(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := NewLiveEngine(stores, options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, stores, writers
+}
+
+// TestLiveEngineMatchesManifestSearch pins the single-partition answer
+// contract: the broker adds scatter, gather, and caching around
+// Manifest.Search but must not change its ranking. (Across partitions
+// LiveEngine scores with per-snapshot statistics, like index.Dynamic,
+// so a global-statistics DocEngine is deliberately NOT the oracle.)
+func TestLiveEngineMatchesManifestSearch(t *testing.T) {
+	docs := corpus(71, 600, 200)
+	live, stores, _ := liveFixture(t, docs, 1, 64)
+	for _, q := range [][]string{{"w0001"}, {"w0002", "w0005"}, {"w0000", "w0001", "w0003"}} {
+		a := live.Query(q, 10)
+		b := stores[0].Manifest().Search(q, 10)
+		if len(a.Results) != len(b) {
+			t.Fatalf("query %v: broker returned %d results, manifest %d", q, len(a.Results), len(b))
+		}
+		for i := range a.Results {
+			if a.Results[i].Doc != b[i].Doc || a.Results[i].Score != b[i].Score {
+				t.Fatalf("query %v rank %d: broker (%d, %v), manifest (%d, %v)",
+					q, i, a.Results[i].Doc, a.Results[i].Score, b[i].Doc, b[i].Score)
+			}
+		}
+	}
+}
+
+// TestLiveEngineAnswerIndependentOfFanOut: the scatter schedule (serial
+// vs parallel workers) must be invisible in the merged answer and in
+// the work accounting.
+func TestLiveEngineAnswerIndependentOfFanOut(t *testing.T) {
+	docs := corpus(74, 800, 200)
+	serial, _, _ := liveFixture(t, docs, 4, 64, WithWorkers(1))
+	fanned, _, _ := liveFixture(t, docs, 4, 64, WithWorkers(4))
+	for _, q := range [][]string{{"w0001"}, {"w0002", "w0005"}, {"w0000", "w0001", "w0003"}} {
+		a, b := serial.Query(q, 10), fanned.Query(q, 10)
+		if qrFingerprint(a) != qrFingerprint(b) {
+			t.Fatalf("query %v: serial and fanned-out answers differ:\n%s\n%s",
+				q, qrFingerprint(a), qrFingerprint(b))
+		}
+	}
+}
+
+// TestLiveEngineCacheInvalidatedBySwap verifies the OnChange wiring: a
+// cached answer is served until any store swaps its manifest (new
+// segment or tombstone), after which the cache generation has moved and
+// the next query recomputes against the fresh snapshot.
+func TestLiveEngineCacheInvalidatedBySwap(t *testing.T) {
+	docs := corpus(72, 300, 150)
+	eng, stores, writers := liveFixture(t, docs, 2, 32,
+		WithResultCache(ResultCacheConfig{Capacity: 64}))
+	q := []string{"w0001", "w0002"}
+
+	first := eng.Query(q, 10)
+	if first.FromCache {
+		t.Fatal("first query cannot be a cache hit")
+	}
+	if again := eng.Query(q, 10); !again.FromCache {
+		t.Fatal("identical repeat query missed the cache")
+	}
+
+	// A tombstone delete swaps a manifest → cached answers are stale.
+	victim := first.Results[0].Doc
+	if !stores[victim%2].Delete(victim) {
+		t.Fatalf("Delete(%d) found nothing", victim)
+	}
+	after := eng.Query(q, 10)
+	if after.FromCache {
+		t.Fatal("cache served a pre-delete answer after a manifest swap")
+	}
+	for _, r := range after.Results {
+		if r.Doc == victim {
+			t.Fatalf("deleted doc %d still in the post-swap answer", victim)
+		}
+	}
+
+	// Re-prime, then a writer seal must invalidate the same way.
+	if qr := eng.Query(q, 10); !qr.FromCache {
+		t.Fatal("repeat query after recompute missed the cache")
+	}
+	ext := 1_000_000
+	for i := 0; i < 40; i++ { // enough adds to seal a 32-doc segment
+		if err := writers[ext%2].AddDocument(ext, []string{"w0001", "w0002"}); err != nil {
+			t.Fatal(err)
+		}
+		ext += 2
+	}
+	if qr := eng.Query(q, 10); qr.FromCache {
+		t.Fatal("cache served a stale answer after a segment seal")
+	}
+}
+
+// TestLiveEngineConcurrentQueriesDuringIngest runs broker queries
+// against stores that are being written and merged concurrently
+// (exercised under -race by CI). Every answer must be consistent:
+// correctly ordered, duplicate-free, and drawn from the known corpus.
+func TestLiveEngineConcurrentQueriesDuringIngest(t *testing.T) {
+	docs := corpus(73, 1200, 150)
+	nparts := 3
+	stores := make([]*index.SegmentStore, nparts)
+	writers := make([]*index.SegmentWriter, nparts)
+	for i := range stores {
+		stores[i] = index.NewSegmentStore(index.DefaultOptions(), index.MergePolicy{Radix: 3})
+		writers[i] = index.NewSegmentWriter(stores[i], 32)
+	}
+	eng, err := NewLiveEngine(stores, WithResultCache(ResultCacheConfig{Capacity: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := [][]string{{"w0000"}, {"w0001", "w0002"}, {"w0003"}}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qr := eng.Query(queries[(i+r)%len(queries)], 20)
+				seen := map[int]bool{}
+				for j, res := range qr.Results {
+					if res.Doc < 0 || res.Doc >= len(docs) {
+						t.Errorf("result doc %d outside the corpus", res.Doc)
+						return
+					}
+					if seen[res.Doc] {
+						t.Errorf("doc %d appears twice in one answer", res.Doc)
+						return
+					}
+					seen[res.Doc] = true
+					if j > 0 && qr.Results[j-1].Score < res.Score {
+						t.Errorf("results out of score order at rank %d", j)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for _, d := range docs {
+		if err := writers[d.Ext%nparts].AddDocument(d.Ext, d.Terms); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	for _, w := range writers {
+		if err := w.Cut(); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if eng.NumDocs() != len(docs) {
+		t.Fatalf("engine sees %d docs after ingest, want %d", eng.NumDocs(), len(docs))
+	}
+}

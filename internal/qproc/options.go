@@ -10,11 +10,9 @@ import (
 // Option configures an engine at construction. The same options apply
 // to DocEngine, TermEngine, and MultiSite (options that do not apply to
 // an engine kind are ignored): pass them to NewDocEngine /
-// NewTermEngine / NewMultiSite after the positional arguments.
-//
-// This is the one configuration surface; the historical setter API
-// (SetWorkers, SetResultCache, SetPostingsCache, and the package-level
-// cache defaults) remains as thin deprecated shims over it.
+// NewTermEngine / NewMultiSite after the positional arguments. This is
+// the one configuration surface — engines are immutable once built,
+// apart from topology changes (SetDown) and cache invalidation.
 type Option func(*engineOptions)
 
 // engineOptions is the resolved construction-time configuration.
@@ -163,23 +161,10 @@ func SetDefaultOptions(opts ...Option) {
 	defaultOptMu.Unlock()
 }
 
-// resolveOptions folds the deprecated package-level defaults, the
-// ambient default options, and the per-call options (in that order of
-// increasing precedence) into one resolved configuration.
+// resolveOptions folds the ambient default options and the per-call
+// options (per-call wins) into one resolved configuration.
 func resolveOptions(opts []Option) engineOptions {
-	eo := engineOptions{workers: int(defaultWorkers.Load())}
-	// Deprecated cache defaults (SetDefaultResultCache /
-	// SetDefaultPostingsCacheBytes) form the base layer.
-	defaultCacheMu.Lock()
-	if defaultRCConfig != nil {
-		c := *defaultRCConfig
-		c.StaticKeys = append([]string(nil), defaultRCConfig.StaticKeys...)
-		eo.rcCfg = &c
-	}
-	defaultCacheMu.Unlock()
-	if n := defaultPLBytes.Load(); n > 0 {
-		eo.plBytes = n
-	}
+	var eo engineOptions
 	defaultOptMu.Lock()
 	ambient := defaultOpts
 	defaultOptMu.Unlock()

@@ -50,7 +50,7 @@ func centralIndex(docs []index.Doc) *index.Index {
 	for _, d := range docs {
 		b.AddDocument(d.Ext, d.Terms)
 	}
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 func newDocEngine(t *testing.T, docs []index.Doc, k int, options ...Option) *DocEngine {

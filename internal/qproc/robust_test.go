@@ -295,29 +295,20 @@ func TestOutageWindowRecovers(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchSetters pins the API migration: an engine configured
-// through functional options behaves identically to one configured
-// through the deprecated setters.
-func TestOptionsMatchSetters(t *testing.T) {
+// TestAmbientDefaultsMatchPerCallOptions pins the configuration
+// surface: ambient defaults (SetDefaultOptions) reach constructors and
+// behave identically to the same options passed per call.
+func TestAmbientDefaultsMatchPerCallOptions(t *testing.T) {
 	docs := corpus(3, 300, 200)
 	queries := zipfQueries(17, 80, 200)
 	cfg := ResultCacheConfig{Capacity: 64}
 
 	viaOpts := buildDocEngine(t, docs, 4,
 		WithWorkers(2), WithResultCache(cfg), WithPostingsCache(1<<16))
-
-	viaSetters := buildDocEngine(t, docs, 4)
-	viaSetters.SetWorkers(2)                       //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
-	viaSetters.SetResultCache(NewResultCache(cfg)) //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
-	viaSetters.SetPostingsCache(1 << 16)           //dwrlint:allow deprecated parity test drives the deprecated setter surface by design
-
 	a, _ := replay(viaOpts, queries)
-	b, _ := replay(viaSetters, queries)
-	if a != b {
-		t.Fatal("options-configured engine diverged from setter-configured engine")
-	}
+	plain := buildDocEngine(t, docs, 4, WithWorkers(1))
+	p, _ := replay(plain, queries)
 
-	// Ambient defaults (SetDefaultOptions) reach constructors too.
 	SetDefaultOptions(WithWorkers(2), WithResultCache(cfg), WithPostingsCache(1<<16))
 	defer SetDefaultOptions()
 	viaAmbient := buildDocEngine(t, docs, 4)
@@ -327,6 +318,17 @@ func TestOptionsMatchSetters(t *testing.T) {
 	}
 	if viaAmbient.Workers() != 2 || viaAmbient.ResultCache() == nil {
 		t.Fatal("ambient defaults not applied at construction")
+	}
+
+	// Per-call options override ambient defaults.
+	viaOverride := buildDocEngine(t, docs, 4,
+		WithWorkers(1), WithResultCacheInstance(nil), WithPostingsCache(0))
+	if viaOverride.Workers() != 1 || viaOverride.ResultCache() != nil {
+		t.Fatal("per-call options did not override ambient defaults")
+	}
+	d, _ := replay(viaOverride, queries)
+	if d != p {
+		t.Fatal("override engine diverged from the plain uncached engine")
 	}
 }
 

@@ -61,7 +61,7 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 		return nil, fmt.Errorf("qproc: term partition with no servers")
 	}
 	eo := resolveOptions(options)
-	builders := make([]*index.Builder, tp.K)
+	builders := make([]*index.MemBuilder, tp.K)
 	for i := range builders {
 		builders[i] = index.NewBuilder(opts)
 	}
@@ -100,36 +100,13 @@ func NewTermEngine(opts index.Options, docs []index.Doc, tp partition.TermPartit
 // K returns the number of term servers.
 func (e *TermEngine) K() int { return len(e.servers) }
 
-// SetWorkers sets the per-query fan-out width (1 = serial, <=0 =
-// GOMAXPROCS). Results and accounting are identical at any width.
-//
-// Deprecated: pass WithWorkers(n) to NewTermEngine.
-func (e *TermEngine) SetWorkers(n int) { e.workers = n }
-
 // Workers reports the configured fan-out width (0 = GOMAXPROCS).
 func (e *TermEngine) Workers() int { return e.workers }
-
-// SetResultCache installs (or, with nil, removes) the broker-level
-// result cache. Configure before serving queries.
-//
-// Deprecated: pass WithResultCache / WithResultCacheInstance to
-// NewTermEngine.
-func (e *TermEngine) SetResultCache(rc *ResultCache) { e.rcache = rc }
 
 // ResultCache returns the installed result cache (nil if none).
 func (e *TermEngine) ResultCache() *ResultCache { return e.rcache }
 
-// SetPostingsCache gives every term server a posting-list cache of
-// bytesPerServer bytes of decoded postings (<= 0 removes the caches).
-// Configure before serving queries.
-//
-// Deprecated: pass WithPostingsCache(n) to NewTermEngine.
-func (e *TermEngine) SetPostingsCache(bytesPerServer int64) {
-	e.installPostingsCache(bytesPerServer)
-}
-
-// installPostingsCache is the shared implementation behind the
-// WithPostingsCache option and the deprecated setter shim.
+// installPostingsCache materializes the WithPostingsCache option.
 func (e *TermEngine) installPostingsCache(bytesPerServer int64) {
 	if bytesPerServer <= 0 {
 		e.pcaches = nil

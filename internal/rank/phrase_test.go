@@ -12,7 +12,7 @@ func phraseIndex() *index.Index {
 	b.AddDocument(2, []string{"quick", "brown", "quick", "brown", "cat"})
 	b.AddDocument(3, []string{"brown", "quick"}) // reversed: no match
 	b.AddDocument(4, []string{"quick", "x", "brown"})
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 func TestPhraseMatches(t *testing.T) {
@@ -36,7 +36,7 @@ func TestPhraseRepeatedTerm(t *testing.T) {
 	b := index.NewBuilder(index.DefaultOptions())
 	b.AddDocument(1, []string{"a", "b", "a"})
 	b.AddDocument(2, []string{"a", "b", "c"})
-	ix := b.Build()
+	ix := index.MustBuild(b)
 	starts, _ := PhraseMatches(ix, []string{"a", "b", "a"})
 	if len(starts) != 1 || len(starts[1]) != 1 || starts[1][0] != 0 {
 		t.Fatalf("phrase 'a b a' matches = %v, want doc 1 at 0", starts)

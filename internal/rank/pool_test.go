@@ -23,7 +23,7 @@ func bigIndex(seed int64, n, v int) *index.Index {
 		}
 		b.AddDocument(d, terms)
 	}
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 // TestPooledScratchReuseDeterministic re-runs the same query mix many

@@ -23,7 +23,7 @@ func pruneCorpus(seed int64, opts index.Options) *index.Index {
 		}
 		b.AddDocument(d, terms)
 	}
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 func pruneQueries(rng *rand.Rand, ix *index.Index, n int) [][]string {

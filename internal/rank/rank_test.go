@@ -14,7 +14,7 @@ func buildIndex() *index.Index {
 	b.AddDocument(2, []string{"banana", "cherry"})
 	b.AddDocument(3, []string{"apple", "cherry", "cherry"})
 	b.AddDocument(4, []string{"date", "fig", "fig", "fig"})
-	return b.Build()
+	return index.MustBuild(b)
 }
 
 func TestEvaluateORBasics(t *testing.T) {
@@ -71,7 +71,7 @@ func TestANDSubsetOfOR(t *testing.T) {
 		}
 		b.AddDocument(d, terms)
 	}
-	ix := b.Build()
+	ix := index.MustBuild(b)
 	s := NewScorer(FromIndex(ix))
 	query := []string{"a", "b"}
 	orRes, _ := EvaluateOR(ix, s, query, 1000)
@@ -131,18 +131,18 @@ func TestMergeResultsEqualsCentral(t *testing.T) {
 	}
 	opts := index.DefaultOptions()
 	central := index.NewBuilder(opts)
-	parts := []*index.Builder{index.NewBuilder(opts), index.NewBuilder(opts), index.NewBuilder(opts)}
+	parts := []*index.MemBuilder{index.NewBuilder(opts), index.NewBuilder(opts), index.NewBuilder(opts)}
 	for i, d := range docs {
 		central.AddDocument(d.Ext, d.Terms)
 		parts[i%3].AddDocument(d.Ext, d.Terms)
 	}
-	cIx := central.Build()
+	cIx := index.MustBuild(central)
 	gScorer := NewScorer(FromIndex(cIx))
 
 	var partIx []*index.Index
 	var stats []index.Stats
 	for _, p := range parts {
-		ix := p.Build()
+		ix := index.MustBuild(p)
 		partIx = append(partIx, ix)
 		stats = append(stats, ix.LocalStats(nil))
 	}

@@ -23,7 +23,7 @@ func buildPartitionedIndexes(t *testing.T) []index.Stats {
 			}
 			b.AddDocument(p*1000+d, terms)
 		}
-		stats = append(stats, b.Build().LocalStats(nil))
+		stats = append(stats, index.MustBuild(b).LocalStats(nil))
 	}
 	return stats
 }
