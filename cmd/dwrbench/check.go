@@ -75,8 +75,24 @@ func runBenchCheck(w io.Writer, dir string, tol float64) error {
 		return err
 	}
 
+	if base, err := loadBench[federateReport](dir, "federate"); err == nil {
+		fmt.Fprintf(w, "check federate: re-running committed config %+v\n", base.Config)
+		fresh, err := federateBench(w, federateOptions{
+			seed: base.Config.Seed, sites: base.Config.Sites,
+			perSite: base.Config.PerSite, queries: base.Config.Queries,
+		})
+		if err != nil {
+			return err
+		}
+		violations = append(violations, diffFederate(base, fresh)...)
+		checked++
+		fmt.Fprintln(w)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
 	if checked == 0 {
-		return fmt.Errorf("no BENCH_pruning.json, BENCH_threshold.json, or BENCH_fresh.json baseline under %q", dir)
+		return fmt.Errorf("no BENCH_pruning.json, BENCH_threshold.json, BENCH_fresh.json, or BENCH_federate.json baseline under %q", dir)
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {
@@ -174,6 +190,49 @@ func diffFresh(base, fresh freshReport) []string {
 	} {
 		if drifted(c.base, c.fresh, workTol) {
 			out = append(out, fmt.Sprintf("fresh: %s %.3f vs baseline %.3f (virtual-time metrics must replay)", c.name, c.fresh, c.base))
+		}
+	}
+	return out
+}
+
+// diffFederate holds every -federate metric to workTol: the scenario's
+// costs, latencies (virtual WAN milliseconds), recall, and fan-out
+// counters all replay exactly for a fixed seed, so any drift is a
+// behavior change in the mediator or the broker.
+func diffFederate(base, fresh federateReport) []string {
+	var out []string
+	if len(base.Runs) != len(fresh.Runs) {
+		return []string{fmt.Sprintf("federate: %d baseline rows vs %d fresh rows", len(base.Runs), len(fresh.Runs))}
+	}
+	for i, b := range base.Runs {
+		f := fresh.Runs[i]
+		id := "federate " + b.Mode
+		if b.Mode != f.Mode {
+			out = append(out, fmt.Sprintf("%s: fresh row is %s", id, f.Mode))
+			continue
+		}
+		if !f.ReplayIdentical {
+			out = append(out, id+": two replays no longer answer identically")
+		}
+		for _, c := range []struct {
+			name        string
+			base, fresh float64
+		}{
+			{"frac_under_half", b.FracUnderHalf, f.FracUnderHalf},
+			{"frac_under_half_good", b.FracUnderHalfGood, f.FracUnderHalfGood},
+			{"frac_full_fanout", b.FracFullFanout, f.FracFullFanout},
+			{"mean_recall_at_10", b.MeanRecall, f.MeanRecall},
+			{"sites_contacted_per_query", b.SitesContactedPerQuery, f.SitesContactedPerQuery},
+			{"sites_skipped_per_query", b.SitesSkippedPerQuery, f.SitesSkippedPerQuery},
+			{"bytes_per_query", b.BytesPerQuery, f.BytesPerQuery},
+			{"latency_p50_ms", b.LatencyP50Ms, f.LatencyP50Ms},
+			{"latency_p99_ms", b.LatencyP99Ms, f.LatencyP99Ms},
+			{"failures", float64(b.Failures), float64(f.Failures)},
+			{"retries", float64(b.Retries), float64(f.Retries)},
+		} {
+			if drifted(c.base, c.fresh, workTol) {
+				out = append(out, fmt.Sprintf("%s: %s %.3f vs baseline %.3f (mediation metrics must replay)", id, c.name, c.fresh, c.base))
+			}
 		}
 	}
 	return out

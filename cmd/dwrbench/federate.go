@@ -1,0 +1,258 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"dwr/internal/cluster"
+	"dwr/internal/index"
+	"dwr/internal/mediator"
+	"dwr/internal/partition"
+	"dwr/internal/qproc"
+	"dwr/internal/randx"
+)
+
+// federateOptions sizes the federated-mediation scenario.
+type federateOptions struct {
+	seed    int64
+	sites   int
+	perSite int
+	queries int
+	dir     string // BENCH_federate.json destination ("" = don't write)
+}
+
+// federateRun is one mode's measurement row of BENCH_federate.json.
+// Every field is deterministic for a fixed seed: latencies are virtual
+// WAN milliseconds, recall is measured against the exhaustive fan-out
+// over the same up set, and the whole pipeline is replayed twice and
+// must fingerprint identically.
+type federateRun struct {
+	Mode                   string  `json:"mode"`
+	Queries                int     `json:"queries"`
+	FracUnderHalf          float64 `json:"frac_under_half"`      // touched < 50% of sites
+	FracUnderHalfGood      float64 `json:"frac_under_half_good"` // ...at recall@10 >= 0.95
+	FracFullFanout         float64 `json:"frac_full_fanout"`
+	MeanRecall             float64 `json:"mean_recall_at_10"`
+	SitesContactedPerQuery float64 `json:"sites_contacted_per_query"`
+	SitesSkippedPerQuery   float64 `json:"sites_skipped_per_query"`
+	BytesPerQuery          float64 `json:"bytes_per_query"`
+	LatencyP50Ms           float64 `json:"latency_p50_ms"`
+	LatencyP99Ms           float64 `json:"latency_p99_ms"`
+	Failures               int     `json:"failures"`
+	Retries                int     `json:"retries"`
+	ReplayIdentical        bool    `json:"replay_identical"`
+}
+
+// federateReport is the full BENCH_federate.json document.
+type federateReport struct {
+	Scenario string `json:"scenario"`
+	Config   struct {
+		Seed    int64 `json:"seed"`
+		Sites   int   `json:"sites"`
+		PerSite int   `json:"per_site_docs"`
+		Queries int   `json:"queries"`
+	} `json:"config"`
+	Runs []federateRun `json:"runs"`
+}
+
+// runFederateBench measures collection selection on the serving path: a
+// topical multi-site federation answers a mixed query stream once with
+// the mediator deciding per query which sites to contact, and once with
+// the classic exhaustive fan-out, under a rolling multi-site outage
+// schedule. The mediated run must answer at least half the queries
+// touching under half the sites while keeping Recall@10 >= 0.95 against
+// the exhaustive reference, and both runs must replay byte-identically.
+func runFederateBench(w io.Writer, o federateOptions) error {
+	_, err := federateBench(w, o)
+	return err
+}
+
+// federateBench is runFederateBench returning the measured report, so
+// -check can diff a fresh run against the committed artifact.
+func federateBench(w io.Writer, o federateOptions) (federateReport, error) {
+	rep := federateReport{Scenario: "federate"}
+	rep.Config.Seed = o.seed
+	rep.Config.Sites = o.sites
+	rep.Config.PerSite = o.perSite
+	rep.Config.Queries = o.queries
+
+	fmt.Fprintf(w, "federated query mediation: %d sites x %d docs, %d queries, seed %d\n",
+		o.sites, o.perSite, o.queries, o.seed)
+	fmt.Fprintf(w, "sites 1, 4, ... are down hours [6,12); recall is measured against the exhaustive fan-out over the same up set\n\n")
+	fmt.Fprintf(w, "%-11s %8s %9s %9s %9s %8s %8s %9s %8s %8s %6s\n",
+		"mode", "queries", "<half", "<half&ok", "fullfan", "recall", "sites/q", "bytes/q", "p50ms", "p99ms", "replay")
+
+	for _, mode := range []string{"fullfanout", "mediated"} {
+		run, fp1, err := federatePass(o, mode)
+		if err != nil {
+			return rep, err
+		}
+		_, fp2, err := federatePass(o, mode)
+		if err != nil {
+			return rep, err
+		}
+		run.ReplayIdentical = fp1 == fp2
+		rep.Runs = append(rep.Runs, run)
+		fmt.Fprintf(w, "%-11s %8d %8.1f%% %8.1f%% %8.1f%% %8.3f %8.2f %9.0f %8.1f %8.1f %6v\n",
+			run.Mode, run.Queries, 100*run.FracUnderHalf, 100*run.FracUnderHalfGood,
+			100*run.FracFullFanout, run.MeanRecall, run.SitesContactedPerQuery,
+			run.BytesPerQuery, run.LatencyP50Ms, run.LatencyP99Ms, run.ReplayIdentical)
+		if !run.ReplayIdentical {
+			return rep, fmt.Errorf("federate %s: two replays diverged (fingerprints %x vs %x)", mode, fp1, fp2)
+		}
+		if run.Failures > 0 {
+			return rep, fmt.Errorf("federate %s: %d queries failed despite healthy fallback sites", mode, run.Failures)
+		}
+		if mode == "mediated" {
+			if run.FracUnderHalfGood < 0.5 {
+				return rep, fmt.Errorf("federate mediated: only %.1f%% of queries were answered touching under half the sites at recall >= 0.95 (need >= 50%%)",
+					100*run.FracUnderHalfGood)
+			}
+			if run.MeanRecall < 0.95 {
+				return rep, fmt.Errorf("federate mediated: mean recall@10 %.3f < 0.95", run.MeanRecall)
+			}
+		}
+	}
+
+	if o.dir != "" {
+		path, err := writeBenchJSON(o.dir, "federate", rep)
+		if err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	return rep, nil
+}
+
+// federateWorkload builds the seeded topical federation corpus (site s
+// owns the "s<s>w*" vocabulary; a fifth of all words come from a shared
+// pool every site holds) and the mixed query stream.
+func federateWorkload(o federateOptions) ([][]index.Doc, [][]string) {
+	rng := randx.New(o.seed)
+	siteDocs := make([][]index.Doc, o.sites)
+	for s := 0; s < o.sites; s++ {
+		docs := make([]index.Doc, o.perSite)
+		for d := 0; d < o.perSite; d++ {
+			terms := make([]string, 20+rng.Intn(40))
+			for j := range terms {
+				if rng.Intn(5) == 0 {
+					terms[j] = fmt.Sprintf("shared%02d", rng.Intn(30))
+				} else {
+					terms[j] = fmt.Sprintf("s%dw%02d", s, rng.Intn(60))
+				}
+			}
+			docs[d] = index.Doc{Ext: s*100000 + d, Terms: terms}
+		}
+		siteDocs[s] = docs
+	}
+	queries := make([][]string, o.queries)
+	for i := range queries {
+		if rng.Intn(3) == 0 {
+			queries[i] = []string{fmt.Sprintf("shared%02d", rng.Intn(30))}
+			continue
+		}
+		s := rng.Intn(o.sites)
+		q := []string{fmt.Sprintf("s%dw%02d", s, rng.Intn(60))}
+		if rng.Intn(2) == 0 {
+			q = append(q, fmt.Sprintf("s%dw%02d", s, rng.Intn(60)))
+		}
+		queries[i] = q
+	}
+	return siteDocs, queries
+}
+
+// federatePass builds a fresh federation and drives the full query
+// stream through it once, returning the measured row and a fingerprint
+// of every answer and counter (replays must match it exactly).
+func federatePass(o federateOptions, mode string) (federateRun, uint64, error) {
+	siteDocs, queries := federateWorkload(o)
+	engines := make([]*qproc.DocEngine, o.sites)
+	for s := 0; s < o.sites; s++ {
+		ids := make([]int, len(siteDocs[s]))
+		for i, d := range siteDocs[s] {
+			ids[i] = d.Ext
+		}
+		e, err := qproc.NewDocEngine(index.DefaultOptions(), siteDocs[s], partition.RoundRobinDocs(ids, 2))
+		if err != nil {
+			return federateRun{}, 0, err
+		}
+		engines[s] = e
+	}
+	var msOpts []qproc.Option
+	if mode == "mediated" {
+		var srcs []mediator.StatsSource
+		for _, e := range engines {
+			srcs = append(srcs, mediator.EngineSource{Eng: e})
+		}
+		msOpts = append(msOpts, qproc.WithMediator(
+			mediator.New(mediator.Config{SelectN: 2, MinConfidence: 0.3}, srcs...)))
+	}
+	ms := qproc.NewMultiSite(cluster.NewNetwork(o.seed, o.sites), qproc.RouteGeo, msOpts...)
+	for s, e := range engines {
+		site := qproc.NewSite(s, s, e, 64, 1_000_000)
+		if s%3 == 1 {
+			// Rolling multi-site outage: every third site is dark for a
+			// quarter of each virtual day.
+			site.Outages = []cluster.Outage{{Start: 6, End: 12}}
+		}
+		ms.Sites = append(ms.Sites, site)
+	}
+
+	run := federateRun{Mode: mode, Queries: len(queries)}
+	h := fnv.New64a()
+	var lat []float64
+	var bytes int64
+	var contacted, skipped, underHalf, underHalfGood, fullFan int
+	var recallSum float64
+	qrng := randx.New(o.seed + 1)
+	for i, q := range queries {
+		at := float64(i % 24)
+		region := qrng.Intn(o.sites)
+		r := ms.QueryFederated(q, qproc.NormalizeQueryKey(q), region, at, 10)
+		if r.Failed {
+			run.Failures++
+		}
+		if r.Retries > 0 {
+			run.Retries += r.Retries
+		}
+		contacted += r.SitesContacted
+		skipped += r.SitesSkipped
+		bytes += r.BytesTransferred
+		lat = append(lat, r.LatencyMs)
+		rec := mediator.Recall(r.Results, ms.QueryExhaustiveResults(q, at, 10))
+		recallSum += rec
+		if r.FullFanout {
+			fullFan++
+		}
+		if 2*r.SitesContacted < o.sites {
+			underHalf++
+			if rec >= 0.95 {
+				underHalfGood++
+			}
+		}
+		fmt.Fprintf(h, "q=%v at=%g region=%d cached=%v full=%v contacted=%d skipped=%d failed=%v degraded=%v lat=%.17g rec=%.17g\n",
+			q, at, region, r.FromCache, r.FullFanout, r.SitesContacted, r.SitesSkipped,
+			r.Failed, r.Degraded, r.LatencyMs, rec)
+		for _, res := range r.Results {
+			fmt.Fprintf(h, "%d:%.17g ", res.Doc, res.Score)
+		}
+		fmt.Fprintln(h)
+	}
+	st := ms.Stats()
+	fmt.Fprintf(h, "sel=%s\n", st.Selection.String())
+
+	n := float64(len(queries))
+	run.FracUnderHalf = float64(underHalf) / n
+	run.FracUnderHalfGood = float64(underHalfGood) / n
+	run.FracFullFanout = float64(fullFan) / n
+	run.MeanRecall = recallSum / n
+	run.SitesContactedPerQuery = float64(contacted) / n
+	run.SitesSkippedPerQuery = float64(skipped) / n
+	run.BytesPerQuery = float64(bytes) / n
+	sort.Float64s(lat)
+	run.LatencyP50Ms = lat[len(lat)/2]
+	run.LatencyP99Ms = lat[min(len(lat)-1, len(lat)*99/100)]
+	return run, h.Sum64(), nil
+}

@@ -11,10 +11,11 @@
 //	dwrbench -pruning   # exhaustive vs MaxScore vs Block-Max top-k comparison
 //	dwrbench -threshold # single-wave scatter vs threshold-sharing waves
 //	dwrbench -fresh     # continuous indexing: crawl + index + serve on one virtual clock
+//	dwrbench -federate  # federated mediation: collection selection on the serving path
 //	dwrbench -check     # re-run scenarios against committed BENCH_*.json baselines
 //
-// The -serve, -pruning, -threshold, and -fresh scenarios also write
-// machine-readable BENCH_<scenario>.json artifacts under -benchdir so
+// The -serve, -pruning, -threshold, -fresh, and -federate scenarios also
+// write machine-readable BENCH_<scenario>.json artifacts under -benchdir so
 // the perf trajectory is tracked across commits instead of eyeballed
 // from captured terminal output; -check closes the loop by failing when
 // a fresh run drifts from the committed artifacts.
@@ -61,7 +62,12 @@ func main() {
 	freshParts := flag.Int("freshparts", 4, "index partitions (segment stores) for -fresh")
 	freshSegDocs := flag.Int("freshsegdocs", 32, "documents per sealed segment for -fresh")
 	freshRate := flag.Float64("freshrate", 2.0, "query arrivals per virtual second for -fresh")
-	check := flag.Bool("check", false, "re-run the -pruning, -threshold, and -fresh scenarios against their committed BENCH_<scenario>.json baselines in -benchdir: deterministic work counters must match within 1%, speedups within -checktol, and every ranking must stay rank-identical (nonzero exit on violation)")
+	federate := flag.Bool("federate", false, "run the federated mediation scenario: a topical multi-site federation answers a mixed query stream with per-query collection selection (mediated) and with the classic exhaustive fan-out, under a rolling outage schedule; at least half the queries must be answered touching under half the sites at Recall@10 >= 0.95, and both modes must replay byte-identically")
+	federateSeed := flag.Int64("federateseed", 42, "corpus, outage, and workload seed for -federate")
+	federateSites := flag.Int("federatesites", 8, "federation sites for -federate")
+	federateDocs := flag.Int("federatedocs", 300, "documents per site for -federate")
+	federateQueries := flag.Int("federatequeries", 400, "query count for -federate")
+	check := flag.Bool("check", false, "re-run the -pruning, -threshold, -fresh, and -federate scenarios against their committed BENCH_<scenario>.json baselines in -benchdir: deterministic work counters must match within 1%, speedups within -checktol, and every ranking must stay rank-identical (nonzero exit on violation)")
 	checkTol := flag.Float64("checktol", 0.35, "allowed relative drift of wall-clock speedup ratios for -check (work counters are always held to 1%)")
 	benchDir := flag.String("benchdir", "docs", "directory for machine-readable BENCH_<scenario>.json artifacts (empty = don't write)")
 	flag.Parse()
@@ -124,6 +130,16 @@ func main() {
 		opts := freshOptions{seed: *freshSeed, hosts: *freshHosts, parts: *freshParts,
 			segDocs: *freshSegDocs, rate: *freshRate, dir: *benchDir}
 		if err := runFreshBench(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *federate {
+		opts := federateOptions{seed: *federateSeed, sites: *federateSites,
+			perSite: *federateDocs, queries: *federateQueries, dir: *benchDir}
+		if err := runFederateBench(os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "dwrbench: %v\n", err)
 			os.Exit(1)
 		}

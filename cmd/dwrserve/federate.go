@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+
+	"dwr/internal/cluster"
+	"dwr/internal/core"
+	"dwr/internal/index"
+	"dwr/internal/mediator"
+	"dwr/internal/partition"
+	"dwr/internal/qproc"
+	"dwr/internal/server"
+	"dwr/internal/textproc"
+)
+
+// federateServeOptions carries the -federate configuration.
+type federateServeOptions struct {
+	addr                  string
+	c, queueCap           int
+	deadline              float64
+	admitRate, admitBurst float64
+	shedTarget            float64
+	shedWindow            int
+	seed                  int64
+	hosts, partitions     int
+	workers, cacheCap     int
+	sites                 int
+	sampleEvery           int
+}
+
+// runFederate serves the crawled corpus as a federation of sites with
+// the query mediator on the serving path: documents are split across
+// sites by Web host (the natural federation boundary — one site per
+// group of hosts), a mediator maintains per-site collection statistics,
+// and every query is routed to the mediator-selected site subset with
+// full fan-out as the low-confidence fallback. The /stats endpoint's
+// Selection counters report how many sites queries touched and the
+// sampled Recall@k of mediated answers against the exhaustive fan-out.
+func runFederate(o federateServeOptions) error {
+	qproc.SetDefaultOptions(qproc.WithWorkers(o.workers))
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.seed
+	cfg.Web.Seed = o.seed
+	cfg.Web.Hosts = o.hosts
+	cfg.Partitions = o.partitions
+	cfg.Workers = o.workers
+
+	fmt.Printf("dwrserve: building federation corpus (%d hosts)...\n", o.hosts)
+	eng, err := core.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Split the corpus across sites by host: every page of a host lands
+	// at one site, so each site's collection has real topical identity
+	// for the selector to exploit.
+	siteDocs := make([][]index.Doc, o.sites)
+	for _, d := range eng.Docs {
+		s := hostSite(eng.URLOf(d.Ext), o.sites)
+		siteDocs[s] = append(siteDocs[s], d)
+	}
+
+	engines := make([]*qproc.DocEngine, o.sites)
+	var srcs []mediator.StatsSource
+	for s := range engines {
+		if len(siteDocs[s]) == 0 {
+			return fmt.Errorf("site %d received no documents; use fewer sites or more hosts", s)
+		}
+		ids := make([]int, len(siteDocs[s]))
+		for i, d := range siteDocs[s] {
+			ids[i] = d.Ext
+		}
+		e, err := qproc.NewDocEngine(cfg.Index, siteDocs[s], partition.RoundRobinDocs(ids, o.partitions))
+		if err != nil {
+			return err
+		}
+		engines[s] = e
+		srcs = append(srcs, mediator.EngineSource{Eng: e})
+	}
+
+	med := mediator.New(mediator.DefaultConfig(), srcs...)
+	ms := qproc.NewMultiSite(cluster.NewNetwork(o.seed, o.sites), qproc.RouteGeo,
+		qproc.WithMediator(med))
+	if o.cacheCap > 0 {
+		ms.CacheTTL = 24
+	}
+	for s, e := range engines {
+		cap := o.cacheCap
+		if cap <= 0 {
+			cap = 1
+		}
+		ms.Sites = append(ms.Sites, qproc.NewSite(s, s, e, cap, 1_000_000))
+		fmt.Printf("dwrserve: site %d holds %d documents\n", s, len(siteDocs[s]))
+	}
+	fed := mediator.NewFederation(ms)
+	fed.SampleEvery = o.sampleEvery
+
+	f := server.NewFrontend(fed, server.Config{
+		Workers:    o.c,
+		QueueCap:   o.queueCap,
+		DeadlineMs: o.deadline,
+		AdmitRate:  o.admitRate,
+		AdmitBurst: o.admitBurst,
+		Shed:       server.ShedConfig{TargetP99Ms: o.shedTarget, Window: o.shedWindow},
+		Seed:       o.seed,
+	})
+	f.Tokenize = textproc.Tokenize
+	f.Resolve = eng.URLOf
+
+	fmt.Printf("dwrserve: serving FEDERATED on %s (c=%d workers, %d sites, mediated collection selection)\n",
+		o.addr, o.c, o.sites)
+	return http.ListenAndServe(o.addr, f.Handler())
+}
+
+// hostSite assigns a document's host to a site deterministically.
+func hostSite(url string, sites int) int {
+	host := strings.TrimPrefix(url, "http://")
+	host = strings.TrimPrefix(host, "https://")
+	if i := strings.IndexByte(host, '/'); i >= 0 {
+		host = host[:i]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return int(h.Sum32() % uint32(sites))
+}

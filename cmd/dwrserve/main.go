@@ -10,6 +10,14 @@
 //	dwrserve                      # serve on :8080 with defaults
 //	dwrserve -addr :9090 -c 150 -deadline 100 -shedtarget 50
 //	dwrserve -live                # serve WHILE crawling and indexing
+//	dwrserve -federate -sites 4   # serve a mediated federation of sites
+//
+// With -federate the corpus is split across sites by Web host and a
+// query mediator runs collection selection on the serving path: each
+// query is routed to the site subset whose collection statistics say it
+// can answer, with full fan-out as the low-confidence fallback. The
+// /stats Selection counters report sites contacted/skipped and sampled
+// Recall@k against the exhaustive fan-out.
 //
 // With -live the index is not built up front: the server comes up over
 // empty per-partition segment stores and a crawl streams pages into
@@ -59,7 +67,25 @@ func main() {
 	live := flag.Bool("live", false, "serve while crawling: stream crawled pages into per-partition segment writers and answer queries over atomically swapped segment manifests, with merges on a background pool")
 	segDocs := flag.Int("segdocs", 128, "documents per sealed segment for -live")
 	mergeWorkers := flag.Int("mergeworkers", 2, "background merge pool width for -live")
+	federate := flag.Bool("federate", false, "serve as a federation of sites with mediated collection selection: documents are split across -sites by Web host, and a query mediator decides per query which sites to contact (full fan-out on low confidence)")
+	sites := flag.Int("sites", 4, "federation sites for -federate")
+	sampleEvery := flag.Int("sampleevery", 16, "sample Recall@k of every Nth mediated answer against the exhaustive fan-out for -federate (0 = off)")
 	flag.Parse()
+
+	if *federate {
+		if err := runFederate(federateServeOptions{
+			addr: *addr, c: *c, queueCap: *queueCap, deadline: *deadline,
+			admitRate: *admitRate, admitBurst: *admitBurst,
+			shedTarget: *shedTarget, shedWindow: *shedWindow,
+			seed: *seed, hosts: *hosts, partitions: *partitions,
+			workers: *workers, cacheCap: *cacheCap,
+			sites: *sites, sampleEvery: *sampleEvery,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "dwrserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *live {
 		if err := runLive(liveOptions{

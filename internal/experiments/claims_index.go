@@ -189,7 +189,7 @@ func Claim8CollectionSelection() *Result {
 		stats = append(stats, index.MustBuild(perPart[p]).LocalStats(nil))
 	}
 	cori := selection.NewCORI(stats)
-	rnd := selection.NewRandom(randx.New(10), k)
+	rnd := selection.NewRandom(10, k)
 
 	// Test: recall@n of the true top-20 for unseen-day queries.
 	evalRecall := func(sel selection.Selector, n int) float64 {

@@ -141,6 +141,38 @@ type TermScoreMeta struct {
 	QuantAvg float64 // average document length SatBound was computed against
 }
 
+// MergeTermScoreMeta folds two score-bound summaries of the same term
+// (from different segments or partitions) into one summary that remains
+// a safe upper bound for the union of the two posting lists: MaxTF takes
+// the max and MinLen the min (0 = unknown stays 0, the loosest and
+// therefore safest length). The quantized saturation bound survives only
+// when both sides carry one: SatBound takes the max and QuantAvg the min,
+// so the merged validity condition (scorer average ≤ QuantAvg) implies
+// each side's condition and the max dominates both.
+func MergeTermScoreMeta(a, b TermScoreMeta) TermScoreMeta {
+	m := TermScoreMeta{MaxTF: a.MaxTF, MinLen: a.MinLen}
+	if b.MaxTF > m.MaxTF {
+		m.MaxTF = b.MaxTF
+	}
+	if b.MinLen < m.MinLen || m.MinLen == 0 {
+		m.MinLen = b.MinLen
+	}
+	if a.MinLen == 0 || b.MinLen == 0 {
+		m.MinLen = 0
+	}
+	if a.SatBound > 0 && b.SatBound > 0 {
+		m.SatBound = a.SatBound
+		if b.SatBound > m.SatBound {
+			m.SatBound = b.SatBound
+		}
+		m.QuantAvg = a.QuantAvg
+		if b.QuantAvg < m.QuantAvg {
+			m.QuantAvg = b.QuantAvg
+		}
+	}
+	return m
+}
+
 // TermScoreMeta returns term's score-bound summary; ok is false when the
 // term is absent from this partition.
 func (ix *Index) TermScoreMeta(term string) (TermScoreMeta, bool) {

@@ -55,6 +55,36 @@ func (m *Manifest) Contains(ext int) bool {
 // Deleted reports whether ext is tombstoned.
 func (m *Manifest) Deleted(ext int) bool { return m.deleted[ext] }
 
+// CollectionStats returns the manifest's aggregated collection
+// statistics (over every term) plus the merged per-term score-bound
+// summaries — the inputs a federated mediator keeps fresh per site. The
+// numbers are aggregated over all resident segments: NumDocs matches
+// NumDocs() (tombstones subtracted), while DF/CF/TotalLen still count
+// tombstoned documents until a merge reclaims them, making them safe
+// upper bounds for selection. The manifest is immutable, so the call is
+// a pure function of the snapshot.
+func (m *Manifest) CollectionStats() (Stats, map[string]TermScoreMeta) {
+	parts := make([]Stats, len(m.segments))
+	for i, s := range m.segments {
+		parts[i] = s.LocalStats(nil)
+	}
+	st := MergeStats(parts...)
+	st.NumDocs -= len(m.deleted)
+	bounds := make(map[string]TermScoreMeta)
+	for _, s := range m.segments {
+		for i := range s.termList {
+			e := &s.termList[i]
+			tm := TermScoreMeta{MaxTF: e.pl.maxTF, MinLen: e.pl.minLen,
+				SatBound: e.pl.satScale, QuantAvg: e.pl.quantAvg}
+			if old, ok := bounds[e.term]; ok {
+				tm = MergeTermScoreMeta(old, tm)
+			}
+			bounds[e.term] = tm
+		}
+	}
+	return st, bounds
+}
+
 // Search evaluates a disjunctive query over the manifest's live
 // documents and returns the top k by BM25-like scoring, with collection
 // statistics aggregated across all segments. The manifest is immutable,

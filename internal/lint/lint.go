@@ -83,7 +83,7 @@ func DefaultConfig() Config {
 	for _, p := range []string{
 		"simweb", "faultsim", "index", "qproc", "rank", "crawler",
 		"queueing", "loadgen", "cache", "chash", "partition",
-		"selection", "replication", "experiments",
+		"selection", "replication", "experiments", "mediator",
 	} {
 		det[p] = true
 	}

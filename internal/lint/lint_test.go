@@ -81,6 +81,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"determinism", "testdata/simweb"},
 		{"determinism-evaluator", "testdata/rank"},
 		{"determinism-waves", "testdata/qproc"},
+		{"determinism-mediator", "testdata/mediator"},
 		{"determinism-file-allow", "testdata/experiments"},
 		{"deprecated-api", "testdata/qprocuse"},
 		{"deadline-server", "testdata/server"},
@@ -112,7 +113,7 @@ func TestFindingsAreNonEmptyOnFixtures(t *testing.T) {
 	findings, err := LintPatterns(".", []string{
 		"testdata/simweb", "testdata/experiments", "testdata/qprocuse",
 		"testdata/server", "testdata/dwrserve", "testdata/index",
-		"testdata/rank", "testdata/qproc",
+		"testdata/rank", "testdata/qproc", "testdata/mediator",
 	}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

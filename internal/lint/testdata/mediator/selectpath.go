@@ -1,0 +1,50 @@
+// Fixture: determinism violations in a query mediator (the directory
+// base name "mediator" is in the deterministic set, covering the
+// collection-selection serving path). Selection decisions are cache-key
+// material — the federated result cache names the chosen site subset —
+// so a mediator that timestamps its statistics on the wall clock,
+// breaks score ties with the global rand, or draws sampling decisions
+// from a generator of invisible provenance makes routing (and with it
+// the byte-identity of two replays) machine-dependent.
+// Parse-only — the go tool never builds testdata.
+package mediator
+
+import (
+	"math/rand"
+	"time"
+)
+
+type siteStats struct {
+	sites       []int
+	scores      []float64
+	refreshedAt time.Time
+}
+
+// markFresh stamps a statistics refresh with the real clock, so the
+// staleness decision below replays differently on every run.
+func (s *siteStats) markFresh() {
+	s.refreshedAt = time.Now() // want wallclock
+}
+
+// stale gates the rebuild-vs-refresh decision on wall-clock age instead
+// of the store's manifest generation.
+func (s *siteStats) stale() bool {
+	return time.Since(s.refreshedAt) > time.Minute // want wallclock
+}
+
+// tieBreak orders equal-scored sites with the process-global source, so
+// which site a query prunes depends on everything else that has drawn
+// from it.
+func (s *siteStats) tieBreak() {
+	rand.Shuffle(len(s.sites), func(i, j int) { // want globalrand
+		s.sites[i], s.sites[j] = s.sites[j], s.sites[i]
+	})
+}
+
+// sampleRecall decides which answers get a recall sample from a
+// generator whose source is invisible at the call site; outside a test
+// this must flow through randx.New so the seed stays auditable.
+func sampleRecall(src rand.Source, every int) bool {
+	rng := rand.New(src) // want seed
+	return rng.Intn(every) == 0
+}

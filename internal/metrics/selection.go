@@ -1,0 +1,57 @@
+package metrics
+
+import "fmt"
+
+// SelectionCounters tallies what the federated mediator did on the
+// serving path: how many queries were mediated versus scattered to every
+// site, how the site fan-out split between contacted and skipped, and
+// the selection quality observed when a recall sample was taken against
+// the exhaustive answer. Brokers accumulate one instance at their serial
+// gather point, so the totals are deterministic for a fixed query
+// stream.
+type SelectionCounters struct {
+	// Queries counts federated queries (mediated or full fan-out; cache
+	// hits are not counted — they contact no site).
+	Queries int
+	// Mediated counts queries answered by a selected site subset.
+	Mediated int
+	// FullFanout counts queries that scattered to every up site: no
+	// mediator, low selection confidence, or a fallback after the
+	// selected subset could not answer.
+	FullFanout int
+	// SitesContacted / SitesSkipped split the per-query site fan-out:
+	// sites the query was dispatched to versus up sites the mediator
+	// pruned before dispatch.
+	SitesContacted int
+	SitesSkipped   int
+	// RecallSum / RecallSamples accumulate Recall@k measurements of
+	// mediated answers against exhaustive fan-out (fed by callers that
+	// sample quality; zero when never sampled).
+	RecallSum     float64
+	RecallSamples int
+}
+
+// Merge folds o into c.
+func (c *SelectionCounters) Merge(o SelectionCounters) {
+	c.Queries += o.Queries
+	c.Mediated += o.Mediated
+	c.FullFanout += o.FullFanout
+	c.SitesContacted += o.SitesContacted
+	c.SitesSkipped += o.SitesSkipped
+	c.RecallSum += o.RecallSum
+	c.RecallSamples += o.RecallSamples
+}
+
+// MeanRecall returns the average sampled recall, 0 when never sampled.
+func (c SelectionCounters) MeanRecall() float64 {
+	if c.RecallSamples == 0 {
+		return 0
+	}
+	return c.RecallSum / float64(c.RecallSamples)
+}
+
+// String renders the counters in one report line.
+func (c SelectionCounters) String() string {
+	return fmt.Sprintf("selQueries=%d mediated=%d fullFanout=%d sitesContacted=%d sitesSkipped=%d meanRecall=%.3f",
+		c.Queries, c.Mediated, c.FullFanout, c.SitesContacted, c.SitesSkipped, c.MeanRecall())
+}

@@ -44,6 +44,10 @@ type EngineStats struct {
 	// Threshold are the wave-scheduler counters of queries evaluated
 	// with threshold sharing (zero value when never used).
 	Threshold metrics.ThresholdCounters
+	// Selection are the federated-mediation counters: site fan-out and
+	// sampled selection quality (zero value when no mediator was
+	// configured).
+	Selection metrics.SelectionCounters
 	// ResultCache reflects the broker-level result cache (zero value
 	// when disabled).
 	ResultCache CacheStats
@@ -161,8 +165,16 @@ func (e *TermEngine) Health() Health {
 
 // QueryTopK implements Engine: the query is submitted from HomeRegion at
 // virtual hour Now, with the canonical cache key of the term list. Like
-// Submit, it is meant for a single driving goroutine.
+// Submit, it is meant for a single driving goroutine. With a mediator
+// configured (WithMediator) the query takes the federated path —
+// collection selection decides the site subset; without one the
+// single-executor Submit path is byte-identical to the pre-mediator
+// broker.
 func (m *MultiSite) QueryTopK(terms []string, k int) QueryResult {
+	if m.mediator != nil {
+		r := m.QueryFederated(terms, NormalizeQueryKey(terms), m.HomeRegion, m.Now, k)
+		return r.QueryResult
+	}
 	r := m.Submit(terms, NormalizeQueryKey(terms), m.HomeRegion, m.Now, k)
 	return r.QueryResult
 }
@@ -177,6 +189,7 @@ func (m *MultiSite) K() int { return len(m.Sites) }
 func (m *MultiSite) Stats() EngineStats {
 	var st EngineStats
 	st.Queries = int(m.ticks)
+	st.Selection = m.sel
 	if m.rb != nil {
 		st.Faults = m.rb.snapshot()
 		st.Latency = m.rb.hist

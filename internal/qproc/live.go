@@ -7,6 +7,7 @@ import (
 
 	"dwr/internal/conc"
 	"dwr/internal/index"
+	"dwr/internal/metrics"
 	"dwr/internal/rank"
 )
 
@@ -26,16 +27,18 @@ import (
 // for freshness: every partition scores against its own snapshot's
 // statistics, exactly like index.Dynamic does for a single partition.
 type LiveEngine struct {
-	cost    CostModel
-	stores  []*index.SegmentStore
-	workers int
-	rcache  *ResultCache
+	cost     CostModel
+	stores   []*index.SegmentStore
+	workers  int
+	rcache   *ResultCache
+	mediator Mediator
 
 	mu      sync.Mutex
 	queries int
 	busyMs  []float64
 	scanned int64
 	maxGen  []uint64 // highest manifest generation seen per partition
+	sel     metrics.SelectionCounters
 }
 
 // NewLiveEngine builds a broker over the given per-partition segment
@@ -49,12 +52,13 @@ func NewLiveEngine(stores []*index.SegmentStore, options ...Option) (*LiveEngine
 	}
 	eo := resolveOptions(options)
 	e := &LiveEngine{
-		cost:    DefaultCostModel(),
-		stores:  stores,
-		workers: eo.workers,
-		rcache:  eo.resultCache(),
-		busyMs:  make([]float64, len(stores)),
-		maxGen:  make([]uint64, len(stores)),
+		cost:     DefaultCostModel(),
+		stores:   stores,
+		workers:  eo.workers,
+		rcache:   eo.resultCache(),
+		mediator: eo.mediator,
+		busyMs:   make([]float64, len(stores)),
+		maxGen:   make([]uint64, len(stores)),
 	}
 	if e.rcache != nil {
 		for _, s := range stores {
@@ -64,35 +68,72 @@ func NewLiveEngine(stores []*index.SegmentStore, options ...Option) (*LiveEngine
 	return e, nil
 }
 
-// LiveCacheKey is the result-cache key of a LiveEngine query: the
-// canonical term list plus k (LiveEngine has no per-query options that
-// change the answer).
+// LiveCacheKey is the result-cache key of an unmediated (full fan-out)
+// LiveEngine query: the canonical term list plus k.
 func LiveCacheKey(terms []string, k int) string {
 	return fmt.Sprintf("live|k=%d|%s", k, NormalizeQueryKey(terms))
 }
 
+// liveMediatedCacheKey names the exact partition subset a mediated
+// answer was computed from (the `sel=` rule: differently-selected
+// evaluations must not collide).
+func liveMediatedCacheKey(terms []string, k int, parts []int) string {
+	return FederatedCacheKey("live|"+NormalizeQueryKey(terms), k, parts, false)
+}
+
 // Query evaluates terms over one manifest snapshot per partition and
 // returns the merged top-k with resource accounting. Safe for
-// concurrent callers and concurrent with writes to the stores.
+// concurrent callers and concurrent with writes to the stores. With a
+// mediator configured (WithMediator) the scatter is restricted to the
+// selected partitions; a full-fan-out decision shares the unmediated
+// cache key, since its answer is identical by construction.
 func (e *LiveEngine) Query(terms []string, k int) QueryResult {
 	if k <= 0 {
 		k = 10
 	}
+
+	// Mediation: pick the partition subset before the cache lookup, so
+	// the key can name it. Stats freshness is the mediator's job (it
+	// watches the stores' OnChange hooks, like the result cache does).
+	targets := make([]int, len(e.stores))
+	for i := range targets {
+		targets[i] = i
+	}
+	full := true
+	if e.mediator != nil {
+		d := e.mediator.Decide(terms, targets)
+		if !d.FullFanout {
+			var sel []int
+			for _, p := range d.Sites {
+				if p >= 0 && p < len(e.stores) {
+					sel = append(sel, p)
+				}
+			}
+			if len(sel) > 0 {
+				targets, full = sel, false
+			}
+		}
+	}
+
 	var ckey string
 	if e.rcache != nil {
-		ckey = LiveCacheKey(terms, k)
+		if full {
+			ckey = LiveCacheKey(terms, k)
+		} else {
+			ckey = liveMediatedCacheKey(terms, k, targets)
+		}
 		if hit, ok := e.rcache.Get(ckey); ok {
 			qr := QueryResult{Results: hit.Results, FromCache: true, LatencyMs: e.cost.CacheHitMs}
-			e.note(qr, nil, nil)
+			e.note(qr, nil, nil, nil, full, 0)
 			return qr
 		}
 	}
 
 	// Snapshot, then scatter. Taking all snapshots before evaluating
 	// makes the answer a pure function of the captured manifests.
-	mans := make([]*index.Manifest, len(e.stores))
-	for i, s := range e.stores {
-		mans[i] = s.Manifest()
+	mans := make([]*index.Manifest, len(targets))
+	for i, p := range targets {
+		mans[i] = e.stores[p].Manifest()
 	}
 	partRes := make([][]index.SearchResult, len(mans))
 	partScanned := make([]int64, len(mans))
@@ -119,10 +160,11 @@ func (e *LiveEngine) Query(terms []string, k int) QueryResult {
 	}
 
 	qr := QueryResult{
-		Results:          merged,
-		ServersContacted: len(mans),
-		Rounds:           1,
-		Waves:            1,
+		Results:           merged,
+		ServersContacted:  len(mans),
+		PartitionsSkipped: len(e.stores) - len(targets),
+		Rounds:            1,
+		Waves:             1,
 	}
 	var maxMs float64
 	for _, n := range partScanned {
@@ -134,27 +176,47 @@ func (e *LiveEngine) Query(terms []string, k int) QueryResult {
 	}
 	qr.BytesTransferred = int64(len(mans)) * resultBytes(k)
 	qr.LatencyMs = maxMs
-	e.note(qr, mans, partScanned)
+	e.note(qr, targets, mans, partScanned, full, len(e.stores)-len(targets))
 	if e.rcache != nil {
 		e.rcache.Put(ckey, qr)
 	}
 	return qr
 }
 
-// note records per-query accounting under the stats lock.
-func (e *LiveEngine) note(qr QueryResult, mans []*index.Manifest, scanned []int64) {
+// note records per-query accounting under the stats lock. targets maps
+// the scatter slots back to partition indexes (nil for cache hits).
+func (e *LiveEngine) note(qr QueryResult, targets []int, mans []*index.Manifest, scanned []int64, full bool, skipped int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.queries++
 	for i := range scanned {
-		e.busyMs[i] += e.cost.ServiceMs(int(scanned[i]))
+		e.busyMs[targets[i]] += e.cost.ServiceMs(int(scanned[i]))
 		e.scanned += scanned[i]
 	}
 	for i := range mans {
-		if g := mans[i].Gen(); g > e.maxGen[i] {
-			e.maxGen[i] = g
+		if g := mans[i].Gen(); g > e.maxGen[targets[i]] {
+			e.maxGen[targets[i]] = g
 		}
 	}
+	if e.mediator != nil && !qr.FromCache {
+		e.sel.Queries++
+		if full {
+			e.sel.FullFanout++
+		} else {
+			e.sel.Mediated++
+		}
+		e.sel.SitesContacted += len(targets)
+		e.sel.SitesSkipped += skipped
+	}
+}
+
+// ObserveSelectionRecall feeds one Recall@k sample of a mediated answer
+// against the full fan-out into the selection counters.
+func (e *LiveEngine) ObserveSelectionRecall(r float64) {
+	e.mu.Lock()
+	e.sel.RecallSum += r
+	e.sel.RecallSamples++
+	e.mu.Unlock()
 }
 
 // QueryTopK implements Engine.
@@ -166,7 +228,7 @@ func (e *LiveEngine) K() int { return len(e.stores) }
 // Stats implements Engine.
 func (e *LiveEngine) Stats() EngineStats {
 	e.mu.Lock()
-	st := EngineStats{Queries: e.queries}
+	st := EngineStats{Queries: e.queries, Selection: e.sel}
 	e.mu.Unlock()
 	if e.rcache != nil {
 		st.ResultCache = e.rcache.Stats()

@@ -9,6 +9,7 @@ import (
 	"dwr/internal/cluster"
 	"dwr/internal/conc"
 	"dwr/internal/faultsim"
+	"dwr/internal/metrics"
 	"dwr/internal/rank"
 )
 
@@ -128,6 +129,13 @@ type MultiSite struct {
 	injector    *faultsim.Injector
 	rb          *robustness
 	ticks       int64
+
+	// mediator, when configured (WithMediator), makes QueryTopK take the
+	// federated path: collection selection decides the site subset each
+	// query touches. sel accumulates the fan-out/quality counters at the
+	// serial gather (single-caller, like ticks).
+	mediator Mediator
+	sel      metrics.SelectionCounters
 }
 
 // NewMultiSite builds an empty multi-site system over net with the given
@@ -143,6 +151,7 @@ func NewMultiSite(net *cluster.Network, routing RoutingPolicy, options ...Option
 		Workers:     eo.workers,
 		faultPolicy: eo.policy,
 		injector:    eo.injector,
+		mediator:    eo.mediator,
 	}
 	return m
 }
@@ -167,6 +176,16 @@ type SiteQueryResult struct {
 	Executor    int     // site that evaluated it (-1 for cache hits/failures)
 	QueueMs     float64 // congestion delay at the executor
 	Failed      bool    // no site reachable and no cached answer
+
+	// Federated fan-out accounting (QueryFederated; zero on Submit's
+	// single-executor path): how many sites the query was dispatched to
+	// versus up sites the mediator pruned, whether the query ended up a
+	// full fan-out, and the mediator's pruning confidence — riding on
+	// the result the way Waves/PartitionsSkipped do on QueryResult.
+	SitesContacted int
+	SitesSkipped   int
+	FullFanout     bool
+	Confidence     float64
 }
 
 // Submit routes one query: terms, origin region, arrival in virtual

@@ -29,6 +29,7 @@ type engineOptions struct {
 	docDefault *DocQueryOptions
 	pruning    rank.Pruning
 	threshold  bool
+	mediator   Mediator
 }
 
 // WithWorkers sets the engine's fan-out width: partition evaluations
@@ -110,6 +111,19 @@ func WithPruning(mode rank.Pruning) Option {
 // for the per-site fan-out.
 func WithThresholdSharing(on bool) Option {
 	return func(o *engineOptions) { o.threshold = on }
+}
+
+// WithMediator puts a federated query mediator on the engine's serving
+// path: MultiSite.QueryTopK takes the QueryFederated route (collection
+// selection picks the site subset each query touches, with full fan-out
+// as the confidence/fault fallback), and LiveEngine restricts its
+// partition scatter to the mediator-selected segment stores. The
+// mediator must be deterministic for fixed statistics; cache keys gain a
+// `sel=` component naming the selected subset. Engines without a
+// federated scatter (DocEngine, TermEngine) ignore the option. Passing
+// nil disables mediation, overriding any ambient default.
+func WithMediator(m Mediator) Option {
+	return func(o *engineOptions) { o.mediator = m }
 }
 
 // WithFaultPolicy activates the robustness policy on the engine's

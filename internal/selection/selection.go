@@ -18,6 +18,7 @@ import (
 
 	"dwr/internal/index"
 	"dwr/internal/partition"
+	"dwr/internal/randx"
 )
 
 // Selector ranks partitions for a query, best first. Every selector
@@ -27,22 +28,47 @@ type Selector interface {
 	K() int
 }
 
+// ScoredPart is a partition with its selection score, as exposed by
+// selectors that can justify their ranking (RankScored). Callers that
+// budget the cutoff by score mass — mediators deciding how many sites a
+// query really needs — consume these instead of the bare permutation.
+type ScoredPart struct {
+	Part  int
+	Score float64
+}
+
+// ScoredRanker is implemented by selectors that expose their scores
+// alongside the ranking. The returned slice is ordered best-first with
+// the same deterministic tie-break as Rank (ascending partition ID).
+type ScoredRanker interface {
+	RankScored(terms []string) []ScoredPart
+}
+
 // scored is a partition with a selection score.
 type scored struct {
 	part  int
 	score float64
 }
 
-func sortScored(s []scored) []int {
+func sortScoredParts(s []scored) []ScoredPart {
 	sort.Slice(s, func(i, j int) bool {
 		if s[i].score != s[j].score {
 			return s[i].score > s[j].score
 		}
 		return s[i].part < s[j].part
 	})
-	out := make([]int, len(s))
+	out := make([]ScoredPart, len(s))
 	for i, e := range s {
-		out[i] = e.part
+		out[i] = ScoredPart{Part: e.part, Score: e.score}
+	}
+	return out
+}
+
+func sortScored(s []scored) []int {
+	sp := sortScoredParts(s)
+	out := make([]int, len(sp))
+	for i, e := range sp {
+		out[i] = e.Part
 	}
 	return out
 }
@@ -78,8 +104,47 @@ func NewCORI(stats []index.Stats) *CORI {
 // K returns the number of partitions.
 func (c *CORI) K() int { return len(c.df) }
 
+// Update replaces (or, when part == K(), appends) one partition's
+// statistics and refolds the collection-wide averages — the incremental
+// refresh path a mediator drives from the dynamic index's change hooks,
+// instead of rebuilding the whole selector. It panics on a gap
+// (part > K()), which indicates a programming error.
+func (c *CORI) Update(part int, st index.Stats) {
+	if part > len(c.df) {
+		panic("selection: CORI.Update beyond K()")
+	}
+	df := make(map[string]int, len(st.DF))
+	for t, v := range st.DF {
+		df[t] = v
+	}
+	if part == len(c.df) {
+		c.df = append(c.df, df)
+		c.cw = append(c.cw, float64(st.TotalLen))
+	} else {
+		c.df[part] = df
+		c.cw[part] = float64(st.TotalLen)
+	}
+	c.avgCW = 0
+	for _, w := range c.cw {
+		c.avgCW += w
+	}
+	if len(c.cw) > 0 {
+		c.avgCW /= float64(len(c.cw))
+	}
+}
+
 // Rank orders partitions by CORI belief for the query terms.
 func (c *CORI) Rank(terms []string) []int {
+	sp := c.RankScored(terms)
+	out := make([]int, len(sp))
+	for i, e := range sp {
+		out[i] = e.Part
+	}
+	return out
+}
+
+// RankScored is Rank with the CORI beliefs attached (ScoredRanker).
+func (c *CORI) RankScored(terms []string) []ScoredPart {
 	const (
 		b  = 0.4
 		k  = 50.0
@@ -116,7 +181,7 @@ func (c *CORI) Rank(terms []string) []int {
 			s[p].score /= n
 		}
 	}
-	return sortScored(s)
+	return sortScoredParts(s)
 }
 
 // QueryDriven selects partitions with the query-log model of Puppin et
@@ -191,6 +256,17 @@ func (qd *QueryDriven) K() int { return qd.k }
 
 // Rank orders partitions for the query terms.
 func (qd *QueryDriven) Rank(terms []string) []int {
+	sp := qd.RankScored(terms)
+	out := make([]int, len(sp))
+	for i, e := range sp {
+		out[i] = e.Part
+	}
+	return out
+}
+
+// RankScored is Rank with the routing distribution attached
+// (ScoredRanker).
+func (qd *QueryDriven) RankScored(terms []string) []ScoredPart {
 	key := canonicalKey(terms)
 	s := make([]scored, qd.k)
 	for p := range s {
@@ -200,7 +276,7 @@ func (qd *QueryDriven) Rank(terms []string) []int {
 		for p, v := range dist {
 			s[p].score = v
 		}
-		return sortScored(s)
+		return sortScoredParts(s)
 	}
 	hit := false
 	for _, t := range terms {
@@ -216,7 +292,7 @@ func (qd *QueryDriven) Rank(terms []string) []int {
 			s[p].score = v
 		}
 	}
-	return sortScored(s)
+	return sortScoredParts(s)
 }
 
 func canonicalKey(terms []string) string {
@@ -231,8 +307,10 @@ type Random struct {
 	rng *rand.Rand
 }
 
-// NewRandom creates a random selector over k partitions.
-func NewRandom(rng *rand.Rand, k int) *Random { return &Random{k: k, rng: rng} }
+// NewRandom creates a random selector over k partitions. The RNG is
+// derived from the seed via internal/randx so the permutation stream is
+// reproducible and never touches global math/rand state.
+func NewRandom(seed int64, k int) *Random { return &Random{k: k, rng: randx.New(seed)} }
 
 // K returns the number of partitions.
 func (r *Random) K() int { return r.k }

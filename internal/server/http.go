@@ -224,6 +224,24 @@ type FrontStats struct {
 	EngineFailed   int `json:"engine_failed"`
 	UnitsLive      int `json:"units_live"`
 	Units          int `json:"units"`
+
+	// Selection is present when the engine runs a query mediator
+	// (collection selection on the serving path).
+	Selection *SelectionStats `json:"selection,omitempty"`
+}
+
+// SelectionStats is the /stats view of the engine's collection-selection
+// counters: how many queries were pruned to a site subset, the fan-out
+// saved, and the sampled Recall@k of mediated answers against the
+// exhaustive fan-out.
+type SelectionStats struct {
+	Queries        int     `json:"queries"`
+	Mediated       int     `json:"mediated"`
+	FullFanout     int     `json:"full_fanout"`
+	SitesContacted int     `json:"sites_contacted"`
+	SitesSkipped   int     `json:"sites_skipped"`
+	RecallSamples  int     `json:"recall_samples"`
+	MeanRecall     float64 `json:"mean_recall"`
 }
 
 // Stats snapshots the front-end and engine counters.
@@ -248,6 +266,17 @@ func (f *Frontend) Stats() FrontStats {
 	st.EngineQueries = es.Queries
 	st.EngineDegraded = es.Degraded
 	st.EngineFailed = es.Failed
+	if es.Selection.Queries > 0 {
+		st.Selection = &SelectionStats{
+			Queries:        es.Selection.Queries,
+			Mediated:       es.Selection.Mediated,
+			FullFanout:     es.Selection.FullFanout,
+			SitesContacted: es.Selection.SitesContacted,
+			SitesSkipped:   es.Selection.SitesSkipped,
+			RecallSamples:  es.Selection.RecallSamples,
+			MeanRecall:     es.Selection.MeanRecall(),
+		}
+	}
 	h := f.eng.Health()
 	st.UnitsLive = h.Live()
 	st.Units = h.Units
