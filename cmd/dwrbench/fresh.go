@@ -61,6 +61,7 @@ type freshReport struct {
 // every served answer for the two-replay identity check.
 type freshMetrics struct {
 	pages, docsIndexed, sealed, merges, finalSegments int
+	mergedDocs, tombstonesDropped                     int
 	swaps                                             uint64
 	crawlVirtualS                                     float64
 	queriesServed                                     int
@@ -120,8 +121,8 @@ func freshBench(w io.Writer, o freshOptions) (freshReport, error) {
 
 	fmt.Fprintf(w, "crawl:   %d pages in %.0f virtual s; %d docs indexed into %d partitions\n",
 		rep.Pages, rep.CrawlVirtualS, rep.DocsIndexed, o.parts)
-	fmt.Fprintf(w, "index:   %d segments sealed, %d merges, %d final segments, %.0f manifest swaps\n",
-		rep.SegmentsSealed, rep.Merges, rep.FinalSegments, rep.ManifestSwaps)
+	fmt.Fprintf(w, "index:   %d segments sealed, %d merges (%d docs rewritten, %d tombstones dropped), %d final segments, %.0f manifest swaps\n",
+		rep.SegmentsSealed, rep.Merges, m1.mergedDocs, m1.tombstonesDropped, rep.FinalSegments, rep.ManifestSwaps)
 	fmt.Fprintf(w, "fresh:   crawl→searchable lag p50 %.1fs  p99 %.1fs  max %.1fs\n",
 		rep.FreshP50S, rep.FreshP99S, rep.FreshMaxS)
 	fmt.Fprintf(w, "serve:   %d queries, latency p50 %.3fms  p99 %.3fms, cache hit ratio %.2f\n",
@@ -263,6 +264,8 @@ func freshReplay(o freshOptions) freshMetrics {
 		ss := s.Stats()
 		m.sealed += ss.Applied
 		m.merges += ss.Merges
+		m.mergedDocs += ss.MergedDocs
+		m.tombstonesDropped += ss.TombstonesDropped
 		m.finalSegments += ss.Segments
 		m.swaps += ss.Gen
 	}

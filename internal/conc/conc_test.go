@@ -2,6 +2,7 @@ package conc
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -39,5 +40,58 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if got := Workers(5); got != 5 {
 		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestPipelineOrderingPerStage(t *testing.T) {
+	const n, stages = 50, 4
+	seen := make([][]int, stages)
+	done := make([][]bool, stages)
+	for s := range done {
+		done[s] = make([]bool, n)
+	}
+	var mu sync.Mutex
+	Pipeline(n, stages, func(s, i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if s > 0 && !done[s-1][i] {
+			t.Errorf("stage %d saw item %d before stage %d finished it", s, i, s-1)
+		}
+		done[s][i] = true
+		seen[s] = append(seen[s], i)
+	})
+	for s := 0; s < stages; s++ {
+		if len(seen[s]) != n {
+			t.Fatalf("stage %d ran %d items, want %d", s, len(seen[s]), n)
+		}
+		for i, v := range seen[s] {
+			if v != i {
+				t.Fatalf("stage %d processed items out of order: %v", s, seen[s])
+			}
+		}
+	}
+}
+
+func TestPipelineSingleStageInline(t *testing.T) {
+	var order []int
+	Pipeline(8, 1, func(s, i int) {
+		if s != 0 {
+			t.Fatalf("stage %d in single-stage pipeline", s)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-stage pipeline out of order: %v", order)
+		}
+	}
+}
+
+func TestPipelineDegenerate(t *testing.T) {
+	ran := false
+	Pipeline(0, 3, func(s, i int) { ran = true })
+	Pipeline(3, 0, func(s, i int) { ran = true })
+	if ran {
+		t.Fatal("degenerate Pipeline invoked fn")
 	}
 }

@@ -1,0 +1,53 @@
+package conc
+
+import "sync"
+
+// Pipeline runs fn(stage, item) for every (stage, item) pair with one
+// goroutine per stage, preserving the pipeline ordering contract:
+// stage s processes items strictly in order 0..n-1, and processes item
+// i only after stage s-1 has finished item i. Equivalently, the calls
+// observed by any single stage happen in the exact order a serial
+//
+//	for i { for s { fn(s, i) } }
+//
+// loop would issue them, so per-stage state (accumulators, postings
+// being appended in document order) ends up byte-identical to the
+// serial build while different stages overlap on different items.
+//
+// fn must only write state owned by its own stage; cross-stage
+// aggregation belongs in the caller, after Pipeline returns. stages <=
+// 1 runs the whole thing inline — the serial baseline.
+func Pipeline(n, stages int, fn func(stage, item int)) {
+	if n <= 0 || stages <= 0 {
+		return
+	}
+	if stages == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Hand-off channels carry item indices stage to stage. Buffers are
+	// sized n so a fast downstream stage never blocks a slow upstream
+	// one; the indices are small and n is bounded by the corpus.
+	in := make(chan int, n)
+	for i := 0; i < n; i++ {
+		in <- i
+	}
+	close(in)
+	var wg sync.WaitGroup
+	wg.Add(stages)
+	for s := 0; s < stages; s++ {
+		out := make(chan int, n)
+		go func(s int, in <-chan int, out chan<- int) {
+			defer wg.Done()
+			for i := range in {
+				fn(s, i)
+				out <- i
+			}
+			close(out)
+		}(s, in, out)
+		in = out
+	}
+	wg.Wait()
+}

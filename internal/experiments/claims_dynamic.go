@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dwr/internal/conc"
 	"dwr/internal/index"
 	"dwr/internal/metrics"
 	"dwr/internal/partition"
@@ -30,32 +32,25 @@ func Claim15OnlineMaintenance() *Result {
 	// small swaps); large buffers seal rarely (few large swaps).
 	run := func(bufferCap int) (p50, p99 float64, swaps uint64, segments int) {
 		d := index.NewDynamic(index.DefaultOptions(), bufferCap, 3)
-		var wg sync.WaitGroup
-		stop := make(chan struct{})
+		var stop atomic.Bool
 		var lat metrics.Sample
 		var latMu sync.Mutex
 		queries := queryTerms(f.test, 200)
 
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, doc := range f.docs[:1200] {
-				if err := d.Add(doc.Ext, doc.Terms); err != nil {
-					break
+		// Task 0 is the update stream, task 1 the query loop; the query
+		// loop polls the stop flag the updater raises when it finishes.
+		conc.Do(2, 2, func(task int) {
+			if task == 0 {
+				for _, doc := range f.docs[:1200] {
+					if err := d.Add(doc.Ext, doc.Terms); err != nil {
+						break
+					}
 				}
+				stop.Store(true)
+				return
 			}
-			close(stop)
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
 			i := 0
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for !stop.Load() {
 				q := queries[i%len(queries)]
 				i++
 				t0 := time.Now() //dwrlint:allow wallclock measures real search latency under concurrent updates; ranked results stay deterministic
@@ -65,8 +60,7 @@ func Claim15OnlineMaintenance() *Result {
 				lat.Add(ms)
 				latMu.Unlock()
 			}
-		}()
-		wg.Wait()
+		})
 		st := d.Maintenance()
 		return lat.Quantile(0.5), lat.Quantile(0.99), st.Swaps, st.Segments
 	}

@@ -3,7 +3,8 @@ package index
 import (
 	"fmt"
 	"sort"
-	"sync"
+
+	"dwr/internal/conc"
 )
 
 // Doc is one tokenized input document for the distributed builders.
@@ -44,19 +45,13 @@ func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, er
 		chunks[i] = docs[lo:hi]
 	}
 	partials := make([]*Index, mappers)
-	var wg sync.WaitGroup
-	for i := range chunks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			b := NewBuilder(opts)
-			for _, d := range chunks[i] {
-				b.AddDocument(d.Ext, d.Terms)
-			}
-			partials[i] = b.BuildParallel(1)
-		}(i)
-	}
-	wg.Wait()
+	conc.Do(mappers, mappers, func(i int) {
+		b := NewBuilder(opts)
+		for _, d := range chunks[i] {
+			b.AddDocument(d.Ext, d.Terms)
+		}
+		partials[i] = b.BuildParallel(1)
+	})
 
 	// Global document table, sorted by external ID, shared by reducers.
 	ix, remap := mergeDocTables(opts, partials)
@@ -87,30 +82,25 @@ func BuildMapReduce(opts Options, docs []Doc, mappers, reducers int) (*Index, er
 		pl   postingList
 	}
 	results := make([][]reducedTerm, reducers)
-	for r := 0; r < reducers; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			out := make([]reducedTerm, 0, len(byReducer[r]))
-			for _, t := range byReducer[r] {
-				var merged []Posting
-				for pi, p := range partials {
-					i, ok := p.terms[t]
-					if !ok {
-						continue
-					}
-					for _, post := range p.termList[i].pl.decodeAll(p.opts) {
-						post.Doc = remap[pi][post.Doc]
-						merged = append(merged, post)
-					}
+	conc.Do(reducers, reducers, func(r int) {
+		out := make([]reducedTerm, 0, len(byReducer[r]))
+		for _, t := range byReducer[r] {
+			var merged []Posting
+			for pi, p := range partials {
+				i, ok := p.terms[t]
+				if !ok {
+					continue
 				}
-				sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
-				out = append(out, reducedTerm{term: t, pl: encodePostings(merged, opts, st)})
+				for _, post := range p.termList[i].pl.decodeAll(p.opts) {
+					post.Doc = remap[pi][post.Doc]
+					merged = append(merged, post)
+				}
 			}
-			results[r] = out
-		}(r)
-	}
-	wg.Wait()
+			sort.Slice(merged, func(i, j int) bool { return merged[i].Doc < merged[j].Doc })
+			out = append(out, reducedTerm{term: t, pl: encodePostings(merged, opts, st)})
+		}
+		results[r] = out
+	})
 
 	var flat []reducedTerm
 	for _, rs := range results {
@@ -161,49 +151,9 @@ func BuildPipeline(opts Options, docs []Doc, stages int) (*Index, error) {
 		return sort.SearchStrings(bounds, t+"\x00")
 	}
 
-	// The pipeline: doc channel per stage; each stage inverts its range
-	// and forwards the document to the next stage.
-	type stageDoc struct {
-		local int32
-		terms []string
-	}
-	chans := make([]chan stageDoc, stages)
-	for i := range chans {
-		chans[i] = make(chan stageDoc, 32)
-	}
-	partialPost := make([]map[string][]Posting, stages)
-	var wg sync.WaitGroup
-	for s := 0; s < stages; s++ {
-		partialPost[s] = make(map[string][]Posting)
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for d := range chans[s] {
-				occ := make(map[string][]int32)
-				for i, t := range d.terms {
-					if stageOf(t) == s {
-						occ[t] = append(occ[t], int32(i))
-					}
-				}
-				for t, poss := range occ {
-					p := Posting{Doc: d.local, TF: int32(len(poss))}
-					if opts.StorePositions {
-						p.Pos = poss
-					}
-					partialPost[s][t] = append(partialPost[s][t], p)
-				}
-				if s+1 < stages {
-					chans[s+1] <- d
-				}
-			}
-			if s+1 < stages {
-				close(chans[s+1])
-			}
-		}(s)
-	}
-
-	// Feed documents in external-ID order so internal ordinals match the
-	// other builders.
+	// Build the shared document table first, in external-ID order, so
+	// internal ordinals match the other builders; the pipeline stages
+	// then stream the same ordered documents through the stage chain.
 	sorted := append([]Doc(nil), docs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ext < sorted[j].Ext })
 	ix := &Index{opts: opts, terms: make(map[string]int), docByExt: make(map[int]int)}
@@ -211,10 +161,32 @@ func BuildPipeline(opts Options, docs []Doc, stages int) (*Index, error) {
 		ix.docs = append(ix.docs, docEntry{ext: d.Ext, length: len(d.Terms)})
 		ix.docByExt[d.Ext] = li
 		ix.totalLen += int64(len(d.Terms))
-		chans[0] <- stageDoc{local: int32(li), terms: d.Terms}
 	}
-	close(chans[0])
-	wg.Wait()
+
+	// The pipeline: each stage owns its partial posting map and inverts
+	// only occurrences in its term range, seeing documents in ordinal
+	// order (conc.Pipeline's ordering contract), so posting lists come
+	// out already document-ordered like the serial builder's.
+	partialPost := make([]map[string][]Posting, stages)
+	for s := range partialPost {
+		partialPost[s] = make(map[string][]Posting)
+	}
+	conc.Pipeline(len(sorted), stages, func(s, li int) {
+		d := sorted[li]
+		occ := make(map[string][]int32)
+		for i, t := range d.Terms {
+			if stageOf(t) == s {
+				occ[t] = append(occ[t], int32(i))
+			}
+		}
+		for t, poss := range occ {
+			p := Posting{Doc: int32(li), TF: int32(len(poss))}
+			if opts.StorePositions {
+				p.Pos = poss
+			}
+			partialPost[s][t] = append(partialPost[s][t], p)
+		}
+	})
 
 	// Collect stage outputs: term ranges are disjoint, so simple union.
 	st := lengthsOf(ix.docs, ix.totalLen)

@@ -1,19 +1,26 @@
 // Package lint is the dwrlint static-analysis suite: a stdlib-only
-// (go/parser, go/ast, go/token) pass over the module that mechanically
-// enforces the repository's determinism, API-hygiene, and
+// analysis layer over the module that mechanically enforces the
+// repository's determinism, accounting, caching, API-hygiene, and
 // deadline-discipline invariants.
 //
 // The headline guarantees of this reproduction — byte-identical query
 // results at any worker count, replayable fault scenarios, seeded load
 // generation — rest on conventions: all randomness flows through
-// internal/randx, deterministic packages never read the wall clock, new
-// code configures engines with functional options rather than the
-// deprecated setter shims, and serving paths propagate deadlines. One
-// stray time.Now() or global math/rand call silently breaks the
-// paper-shape experiments, so the conventions are machine-checked here
-// rather than reviewed-for.
+// internal/randx, deterministic packages never read the wall clock,
+// fan-out goes through internal/conc's ordered gathers, cache keys
+// encode every result-affecting option, gathers fold every counter, and
+// serving paths propagate deadlines. One stray time.Now() or dropped
+// counter silently breaks the paper-shape experiments, so the
+// conventions are machine-checked here rather than reviewed-for.
 //
-// Four analyzers emit findings under five rule ids:
+// Analysis runs in two passes. The syntactic pass (go/parser, go/ast)
+// inspects each selected file alone. The module pass (go/types)
+// type-checks every selected directory — resolving module-internal
+// imports straight from parsed source and stdlib imports from compiled
+// export data, so no build step is needed — and builds a static call
+// graph over everything loaded.
+//
+// The syntactic analyzers emit five rule ids:
 //
 //   - determinism: [wallclock] time.Now/Since/Sleep/... and
 //     [globalrand] top-level math/rand calls in deterministic packages
@@ -23,14 +30,33 @@
 //   - seed-plumbing: [seed] *rand.Rand values not derived from
 //     internal/randx (or an explicit seed in tests)
 //
+// The module analyzers emit four more:
+//
+//   - determinism-taint: [taint] a call, inside a deterministic
+//     package, of a helper that transitively reaches a wall-clock or
+//     global-rand sink through any chain of module functions
+//   - cache-key completeness: [cachekey] a *CacheKey function that
+//     fails to encode a result-affecting QueryOptions field, encodes a
+//     Deadline/Budget field, or ignores a parameter
+//   - stats-merge completeness: [statsmerge] an aggregation that folds
+//     some counters of a source struct but silently drops another
+//   - conc-discipline: [conc] bare go statements, raw make(chan), or
+//     select in deterministic packages instead of internal/conc
+//
 // Intentional exceptions are annotated in the source:
 //
-//	//dwrlint:allow <rule> <justification>       (this line or the next)
-//	//dwrlint:file-allow <rule> <justification>  (whole file)
+//	//dwrlint:allow <rule> <justification>        (this line or the next)
+//	//dwrlint:allow <rule>:<detail> <why>         (one field/construct only)
+//	//dwrlint:file-allow <rule> <justification>   (whole file)
 //
 // Allowed sites are suppressed from normal output but remain auditable:
 // the Fixlist (cmd/dwrlint -fixlist) prints every suppressed finding
-// with its justification.
+// with its justification, and CI gates on the fixlist not growing
+// (cmd/dwrlint -fixgate).
+//
+// To add an analyzer: implement moduleAnalyzer (or analyzer for purely
+// syntactic checks), append it to moduleAnalyzers, pick a new rule id,
+// and add a fixture directory under testdata/ with // want markers.
 package lint
 
 import (
@@ -52,6 +78,12 @@ type Finding struct {
 	Col  int    `json:"col"`
 	Rule string `json:"rule"`
 	Msg  string `json:"msg"`
+
+	// Detail qualifies findings of the module analyzers down to a single
+	// field or construct (e.g. the dropped counter's name), so one line
+	// can carry several findings and directives can suppress exactly one
+	// of them: //dwrlint:allow <rule>:<detail> <why>.
+	Detail string `json:"detail,omitempty"`
 
 	// Allowed marks a finding suppressed by a //dwrlint:allow or
 	// //dwrlint:file-allow directive; Justification is the directive's
@@ -197,6 +229,18 @@ func splitDirective(rest string) (rule, why string) {
 	return rest, ""
 }
 
+// allowedDetail resolves a detail-qualified finding: the exact
+// "rule:detail" directive wins, then the bare rule form (which covers
+// every detail at the site).
+func (d directives) allowedDetail(rule, detail string, line int) (string, bool) {
+	if detail != "" {
+		if why, ok := d.allowed(rule+":"+detail, line); ok {
+			return why, true
+		}
+	}
+	return d.allowed(rule, line)
+}
+
 // allowed reports whether a finding for rule at line is exempted, and
 // with what justification.
 func (d directives) allowed(rule string, line int) (string, bool) {
@@ -222,12 +266,29 @@ func (d directives) allowed(rule string, line int) (string, bool) {
 // analyzer inspects one file and reports findings.
 type analyzer func(fc *fileCtx, cfg Config, report func(pos token.Pos, rule, msg string))
 
-// analyzers is the suite, in reporting order.
+// analyzers is the per-file suite, in reporting order.
 var analyzers = []analyzer{
 	analyzeDeterminism,
 	analyzeDeprecatedAPI,
 	analyzeDeadline,
 	analyzeSeedPlumbing,
+}
+
+// moduleReport is how a module analyzer emits one finding: the file it
+// lives in, its position, and an optional detail (the exact field or
+// construct) for per-field directive suppression.
+type moduleReport func(mf *modFile, pos token.Pos, rule, detail, msg string)
+
+// moduleAnalyzer inspects the type-checked module view built over the
+// selected directories (plus everything they transitively import).
+type moduleAnalyzer func(m *module, cfg Config, report moduleReport)
+
+// moduleAnalyzers is the type-aware suite, in reporting order.
+var moduleAnalyzers = []moduleAnalyzer{
+	analyzeTaintModule,
+	analyzeCacheKeyModule,
+	analyzeStatsMergeModule,
+	analyzeConcModule,
 }
 
 // LintFile runs every analyzer over one parsed file and returns all
@@ -298,6 +359,7 @@ func LintPatterns(root string, patterns []string, cfg Config) ([]Finding, error)
 		}
 		out = append(out, lintFile(fc, cfg)...)
 	}
+	out = append(out, lintModule(root, files, cfg)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -309,9 +371,71 @@ func LintPatterns(root string, patterns []string, cfg Config) ([]Finding, error)
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Detail < b.Detail
 	})
 	return out, nil
+}
+
+// lintModule runs the type-aware module analyzers over the selected
+// files: their directories are parsed and type-checked (transitive
+// module-internal imports load on demand), a call graph is built, and
+// findings are filtered back down to the selected non-test files.
+// Everything is best-effort — files that fail to type-check contribute
+// partial facts, never an error.
+func lintModule(root string, files []string, cfg Config) []Finding {
+	mod := newModule(root)
+	selected := map[string]bool{}
+	dirSet := map[string]bool{}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			continue
+		}
+		selected[abs] = true
+		dirSet[filepath.Dir(abs)] = true
+	}
+	if len(dirSet) == 0 {
+		return nil
+	}
+	var dirs []string
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		mod.load(d)
+	}
+	mod.buildFacts()
+
+	var out []Finding
+	seen := map[string]bool{}
+	report := func(mf *modFile, pos token.Pos, rule, detail, msg string) {
+		if mf == nil || !selected[mf.abs] {
+			return
+		}
+		p := mod.fset.Position(pos)
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", mf.abs, p.Line, p.Column, rule, detail)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		f := Finding{File: mod.relOf(mf.abs), Line: p.Line, Col: p.Column, Rule: rule, Detail: detail, Msg: msg}
+		if why, ok := mf.dirs.allowedDetail(rule, detail, p.Line); ok {
+			f.Allowed = true
+			f.Justification = why
+		}
+		out = append(out, f)
+	}
+	for _, an := range moduleAnalyzers {
+		an(mod, cfg, report)
+	}
+	return out
 }
 
 // expandPattern resolves one CLI pattern to .go file paths.

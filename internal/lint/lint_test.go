@@ -87,6 +87,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"deadline-server", "testdata/server"},
 		{"deadline-dwrserve", "testdata/dwrserve"},
 		{"seed-plumbing", "testdata/index"},
+		{"taint", "testdata/taint/crawler"},
+		{"cachekey", "testdata/cachekey"},
+		{"statsmerge", "testdata/statsmerge"},
+		{"conc-discipline", "testdata/concfix/queueing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -114,6 +118,8 @@ func TestFindingsAreNonEmptyOnFixtures(t *testing.T) {
 		"testdata/simweb", "testdata/experiments", "testdata/qprocuse",
 		"testdata/server", "testdata/dwrserve", "testdata/index",
 		"testdata/rank", "testdata/qproc", "testdata/mediator",
+		"testdata/taint/crawler", "testdata/cachekey",
+		"testdata/statsmerge", "testdata/concfix/queueing",
 	}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +128,10 @@ func TestFindingsAreNonEmptyOnFixtures(t *testing.T) {
 	for _, f := range Violations(findings) {
 		rules[f.Rule]++
 	}
-	for _, rule := range []string{"wallclock", "globalrand", "deprecated", "deadline", "seed"} {
+	for _, rule := range []string{
+		"wallclock", "globalrand", "deprecated", "deadline", "seed",
+		"taint", "cachekey", "statsmerge", "conc",
+	} {
 		if rules[rule] == 0 {
 			t.Errorf("fixtures never tripped rule %q (got %v)", rule, rules)
 		}
@@ -197,6 +206,131 @@ func TestRepoIsClean(t *testing.T) {
 	for _, f := range fix {
 		if f.Justification == "" || strings.HasPrefix(f.Justification, "(") {
 			t.Errorf("%s:%d: [%s] exemption without a written justification", f.File, f.Line, f.Rule)
+		}
+	}
+}
+
+// writeTempModule materializes a throwaway module for mutation tests
+// and lints it whole, returning the violations.
+func lintTempModule(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := LintPatterns(root, []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Violations(findings)
+}
+
+// cacheKeySrc mirrors the shape of the real DocCacheKey: one pr=/ts=
+// component per line so a mutation can delete exactly one.
+const cacheKeySrc = `package qproc
+
+import "fmt"
+
+type DocQueryOptions struct {
+	K          int
+	Pruning    int
+	Threshold  int
+	DeadlineMs float64
+}
+
+func DocCacheKey(terms string, opt DocQueryOptions) string {
+	key := fmt.Sprintf("%s|k=%d", terms, opt.K)
+	key += fmt.Sprintf("|pr=%d", opt.Pruning)
+	key += fmt.Sprintf("|ts=%d", opt.Threshold)
+	return key
+}
+`
+
+// TestMutationCacheKey is the acceptance check for the cachekey rule:
+// the mirrored DocCacheKey is clean as written, and deleting any single
+// pr=/ts= component line makes the linter fail with that exact field.
+func TestMutationCacheKey(t *testing.T) {
+	if got := lintTempModule(t, map[string]string{"qproc/key.go": cacheKeySrc}); len(got) != 0 {
+		t.Fatalf("unmutated cache key flagged: %v", got)
+	}
+	for _, mut := range []struct{ line, field string }{
+		{"\tkey += fmt.Sprintf(\"|pr=%d\", opt.Pruning)\n", "Pruning"},
+		{"\tkey += fmt.Sprintf(\"|ts=%d\", opt.Threshold)\n", "Threshold"},
+	} {
+		if !strings.Contains(cacheKeySrc, mut.line) {
+			t.Fatalf("mutation line drifted from source: %q", mut.line)
+		}
+		src := strings.Replace(cacheKeySrc, mut.line, "", 1)
+		got := lintTempModule(t, map[string]string{"qproc/key.go": src})
+		found := false
+		for _, f := range got {
+			if f.Rule == "cachekey" && f.Detail == mut.field {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("deleting the %s component produced no cachekey finding (got %v)", mut.field, got)
+		}
+	}
+}
+
+// statsMergeSrc mirrors the multi-site EngineStats gather: an aggregate
+// object folding every counter of the per-site struct.
+const statsMergeSrc = `package qproc
+
+type evalStats struct {
+	Decoded int
+	Lists   int
+	Bytes   int64
+}
+
+type totals struct {
+	Decoded int
+	Lists   int
+	Bytes   int64
+}
+
+func (t *totals) fold(parts []evalStats) {
+	for _, es := range parts {
+		t.Decoded += es.Decoded
+		t.Lists += es.Lists
+		t.Bytes += es.Bytes
+	}
+}
+`
+
+// TestMutationStatsMerge is the acceptance check for the statsmerge
+// rule: the complete fold is clean, and deleting any single counter
+// fold makes the linter fail naming the dropped field.
+func TestMutationStatsMerge(t *testing.T) {
+	if got := lintTempModule(t, map[string]string{"qproc/merge.go": statsMergeSrc}); len(got) != 0 {
+		t.Fatalf("unmutated merge flagged: %v", got)
+	}
+	for _, mut := range []struct{ line, field string }{
+		{"\t\tt.Decoded += es.Decoded\n", "Decoded"},
+		{"\t\tt.Lists += es.Lists\n", "Lists"},
+		{"\t\tt.Bytes += es.Bytes\n", "Bytes"},
+	} {
+		if !strings.Contains(statsMergeSrc, mut.line) {
+			t.Fatalf("mutation line drifted from source: %q", mut.line)
+		}
+		src := strings.Replace(statsMergeSrc, mut.line, "", 1)
+		got := lintTempModule(t, map[string]string{"qproc/merge.go": src})
+		found := false
+		for _, f := range got {
+			if f.Rule == "statsmerge" && f.Detail == mut.field {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("deleting the %s fold produced no statsmerge finding (got %v)", mut.field, got)
 		}
 	}
 }

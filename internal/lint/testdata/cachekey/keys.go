@@ -1,0 +1,46 @@
+// Fixture: cache-key completeness. FooQueryOptions stands in for
+// DocQueryOptions: K and Pruning change the answer and must be encoded;
+// DeadlineMs only changes when the answer arrives and must not be.
+package cachekey
+
+import "fmt"
+
+type FooQueryOptions struct {
+	K          int
+	Pruning    int
+	DeadlineMs float64
+}
+
+// BadCacheKey drops Pruning: differently-pruned evaluations collide.
+func BadCacheKey(terms string, opt FooQueryOptions) string { // want cachekey
+	return fmt.Sprintf("%s|k=%d", terms, opt.K)
+}
+
+// LeakyCacheKey encodes the deadline, fragmenting the cache by budget.
+func LeakyCacheKey(terms string, opt FooQueryOptions) string {
+	return fmt.Sprintf("%s|k=%d|pr=%d|dl=%f", terms, opt.K, opt.Pruning, opt.DeadlineMs) // want cachekey
+}
+
+// GoodCacheKey encodes every result-affecting field and no budget field.
+func GoodCacheKey(terms string, opt FooQueryOptions) string {
+	return fmt.Sprintf("%s|k=%d|pr=%d", terms, opt.K, opt.Pruning)
+}
+
+// EscapeCacheKey stringifies the whole options value: every field
+// reaches the key, including the forbidden budget field.
+func EscapeCacheKey(terms string, opt FooQueryOptions) string { // want cachekey
+	return terms + "|" + fmt.Sprint(opt)
+}
+
+// AllowedCacheKey drops Pruning under a justified per-field exemption.
+//
+//dwrlint:allow cachekey:Pruning this deployment pins one pruning strategy engine-wide
+func AllowedCacheKey(terms string, opt FooQueryOptions) string {
+	return fmt.Sprintf("%s|k=%d", terms, opt.K)
+}
+
+// IgnoredParamCacheKey never touches region, but callers pass it
+// believing it is part of the key.
+func IgnoredParamCacheKey(terms string, region int) string { // want cachekey
+	return "r|" + terms
+}

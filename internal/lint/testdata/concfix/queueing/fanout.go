@@ -1,0 +1,42 @@
+// Fixture: concurrency discipline in a deterministic package (unit
+// "queueing" is in the Deterministic set). Hand-rolled goroutines,
+// channels, and selects are flagged; fan-out through internal/conc is
+// the sanctioned form.
+package queueing
+
+import "dwr/internal/conc"
+
+// disciplined fans out through conc.Do: ordered gather, no finding.
+func disciplined(n int) []int {
+	out := make([]int, n)
+	conc.Do(n, 4, func(i int) { out[i] = i * i })
+	return out
+}
+
+// bare hand-rolls the same fan-out with a goroutine and a channel.
+func bare(n int) int {
+	done := make(chan int) // want conc
+	go func() {            // want conc
+		done <- n * n
+	}()
+	return <-done
+}
+
+// waitEither races two channels: select wakes in scheduler order,
+// which a replayable package must not observe.
+func waitEither(a, b chan int) int {
+	select { // want conc
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// allowedHandoff keeps a one-shot channel under a justified exemption.
+func allowedHandoff() int {
+	//dwrlint:allow conc:chan buffered one-shot handoff; no ordering is observable
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}

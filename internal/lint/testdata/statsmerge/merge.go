@@ -1,0 +1,66 @@
+// Fixture: stats-merge completeness. evalStats stands in for the
+// per-partition counter structs (rank.EvalStats, QueryResult); the
+// merge functions fold them into queryTotals aggregates.
+package statsmerge
+
+type evalStats struct {
+	Decoded int
+	Lists   int
+	Bytes   int64
+	Label   string // not countable: never summed
+}
+
+type queryTotals struct {
+	Decoded int
+	Lists   int
+	Bytes   int64
+}
+
+// mergeBad folds two sibling counters and silently drops Lists — the
+// under-reporting class the analyzer exists for.
+func mergeBad(dst *queryTotals, parts []evalStats) {
+	for _, es := range parts {
+		dst.Decoded += es.Decoded // want statsmerge
+		dst.Bytes += es.Bytes
+	}
+}
+
+// mergeGood folds every countable field.
+func mergeGood(dst *queryTotals, parts []evalStats) {
+	for _, es := range parts {
+		dst.Decoded += es.Decoded
+		dst.Lists += es.Lists
+		dst.Bytes += es.Bytes
+	}
+}
+
+// mergeMaxRead consumes Lists with a max-fold instead of a sum: any
+// read off the source root counts as accounted for.
+func mergeMaxRead(dst *queryTotals, parts []evalStats) {
+	for _, es := range parts {
+		dst.Decoded += es.Decoded
+		dst.Bytes += es.Bytes
+		if es.Lists > dst.Lists {
+			dst.Lists = es.Lists
+		}
+	}
+}
+
+// project accumulates into scalar locals: a reporting projection, not a
+// merge, so dropping fields here is fine.
+func project(parts []evalStats) int {
+	decoded := 0
+	for _, es := range parts {
+		decoded += es.Decoded
+	}
+	return decoded
+}
+
+// mergeAllowed drops Lists under a justified per-field exemption.
+func mergeAllowed(dst *queryTotals, parts []evalStats) {
+	for _, es := range parts {
+		//dwrlint:allow statsmerge:Lists list counts are recomputed from the posting ledger downstream
+		dst.Decoded += es.Decoded
+		dst.Bytes += es.Bytes
+	}
+}

@@ -498,6 +498,7 @@ func (e *DocEngine) Query(terms []string, opt DocQueryOptions) QueryResult {
 					waveSlowest = t
 				}
 			}
+			//dwrlint:allow statsmerge:FinalThreshold the broker seeds later waves from its own merged heap, not the partitions' final thresholds
 			qr.PostingsDecoded += es.PostingsDecoded
 			qr.ListsAccessed += es.ListsAccessed
 			qr.PostingBytesRead += es.BytesRead

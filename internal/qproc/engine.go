@@ -196,10 +196,14 @@ func (m *MultiSite) Stats() EngineStats {
 	}
 	for _, s := range m.Sites {
 		es := s.Engine.Stats()
+		// Queries stays m.ticks: one multi-site query fans out to several
+		// site engines, so summing per-site Queries would double-count.
+		//dwrlint:allow statsmerge:Queries m.ticks is the authoritative query count; per-site Queries counts fan-out, not accepted queries
 		st.Degraded += es.Degraded
 		st.Failed += es.Failed
 		st.Faults.Merge(es.Faults)
 		st.Threshold.Merge(es.Threshold)
+		st.Selection.Merge(es.Selection)
 		st.ResultCache.Hits += es.ResultCache.Hits
 		st.ResultCache.Misses += es.ResultCache.Misses
 		st.ResultCache.StaleGen += es.ResultCache.StaleGen

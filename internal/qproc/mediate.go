@@ -265,6 +265,11 @@ func (m *MultiSite) scatterSites(out *SiteQueryResult, targets []*Site, terms []
 		}
 		lists = append(lists, qr.Results)
 		answered++
+		if qr.Rounds > out.Rounds {
+			// The sites evaluate in parallel, so the scatter's round count
+			// is the slowest site's, not the sum.
+			out.Rounds = qr.Rounds
+		}
 		out.ServersContacted += qr.ServersContacted
 		out.PostingsDecoded += qr.PostingsDecoded
 		out.ListsAccessed += qr.ListsAccessed

@@ -317,6 +317,7 @@ func (m *MultiSite) Submit(terms []string, key string, region int, atHours float
 	qr := x.Engine.Query(terms, DocQueryOptions{K: k, Stats: GlobalPrecomputed})
 	out.Results = qr.Results
 	out.ServersContacted = qr.ServersContacted
+	out.Rounds = qr.Rounds
 	out.PostingsDecoded = qr.PostingsDecoded
 	out.ListsAccessed = qr.ListsAccessed
 	out.PostingBytesRead = qr.PostingBytesRead

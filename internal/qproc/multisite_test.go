@@ -263,3 +263,85 @@ func TestIncrementalSkipsDownSites(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiSiteStatsAggregatesSiteCounters pins the Stats() gather: the
+// per-site engines' counter bundles (threshold-sharing waves, result
+// cache hits/misses, degraded/failed outcomes) must sum into the
+// multi-site EngineStats, and the broker-level selection counters must
+// surface through it. The SelectionCounters fold was once dropped here
+// entirely — any counter bundle a site engine reports and the gather
+// ignores under-reports forever.
+func TestMultiSiteStatsAggregatesSiteCounters(t *testing.T) {
+	docs := corpus(21, 300, 200)
+	ids := make([]int, len(docs))
+	for i, d := range docs {
+		ids[i] = d.Ext
+	}
+	m := &MultiSite{Net: cluster.NewNetwork(1, 3), Policy: RouteGeo}
+	for s := 0; s < 3; s++ {
+		dp := partition.RoundRobinDocs(ids, 4)
+		e, err := NewDocEngine(index.DefaultOptions(), docs, dp,
+			WithResultCache(ResultCacheConfig{Capacity: 64}),
+			WithThresholdSharing(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Sites = append(m.Sites, NewSite(s, s, e, 256, 1000))
+	}
+
+	// Distinct per-site load: site i answers i+2 direct queries, so the
+	// repeats hit each site's broker result cache a different number of
+	// times and the per-site counters genuinely differ.
+	for i, s := range m.Sites {
+		for q := 0; q <= i+1; q++ {
+			s.Engine.Query([]string{"w0001", "w0002"}, DocQueryOptions{K: 5})
+		}
+	}
+	// Federated queries move the broker-level selection counters.
+	const fed = 4
+	for q := 0; q < fed; q++ {
+		m.QueryFederated([]string{"w0003"}, "w0003", 0, 1, 5)
+	}
+
+	var want EngineStats
+	for _, s := range m.Sites {
+		es := s.Engine.Stats()
+		want.Degraded += es.Degraded
+		want.Failed += es.Failed
+		want.Threshold.Merge(es.Threshold)
+		want.Selection.Merge(es.Selection)
+		want.ResultCache.Hits += es.ResultCache.Hits
+		want.ResultCache.Misses += es.ResultCache.Misses
+	}
+	if want.ResultCache.Hits == 0 || want.ResultCache.Misses == 0 {
+		t.Fatalf("per-site load produced no cache traffic to aggregate: %+v", want.ResultCache)
+	}
+	if want.Threshold.Queries == 0 || want.Threshold.Waves == 0 {
+		t.Fatalf("per-site load produced no threshold counters to aggregate: %+v", want.Threshold)
+	}
+
+	st := m.Stats()
+	if st.ResultCache.Hits != want.ResultCache.Hits || st.ResultCache.Misses != want.ResultCache.Misses {
+		t.Errorf("result-cache counters not summed: got %+v, want %+v", st.ResultCache, want.ResultCache)
+	}
+	if st.Threshold != want.Threshold {
+		t.Errorf("threshold counters not summed: got %+v, want %+v", st.Threshold, want.Threshold)
+	}
+	if st.Degraded != want.Degraded || st.Failed != want.Failed {
+		t.Errorf("outcome counters not summed: got (%d,%d), want (%d,%d)",
+			st.Degraded, st.Failed, want.Degraded, want.Failed)
+	}
+	// Broker-level selection counters pass through, merged with the
+	// (currently zero-valued) per-site bundles.
+	wantSel := m.sel
+	wantSel.Merge(want.Selection)
+	if st.Selection != wantSel {
+		t.Errorf("selection counters not aggregated: got %+v, want %+v", st.Selection, wantSel)
+	}
+	if st.Selection.Queries != fed || st.Selection.FullFanout != fed {
+		t.Errorf("federated queries not counted: %+v, want %d full-fanout queries", st.Selection, fed)
+	}
+	if st.Queries != fed {
+		t.Errorf("Queries = %d, want the broker's own tick count %d (site fan-out must not double-count)", st.Queries, fed)
+	}
+}

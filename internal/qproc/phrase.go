@@ -48,9 +48,11 @@ func (e *DocEngine) QueryPhrase(terms []string, k int) QueryResult {
 		if t := e.lanMs + service; t > slowest {
 			slowest = t
 		}
+		//dwrlint:allow statsmerge:FinalThreshold phrase evaluation is exhaustive per partition; there is no threshold to feed forward
 		qr.PostingsDecoded += es.PostingsDecoded
 		qr.ListsAccessed += es.ListsAccessed
 		qr.PostingBytesRead += es.BytesRead
+		qr.PostingBytesDecoded += es.BytesDecoded
 		qr.BytesTransferred += resultBytes(len(evals[i].rs))
 		lists[i] = evals[i].rs
 	}
